@@ -1,0 +1,423 @@
+//! FnX — the federated FaaS fabric (the paper's FuncX, §IV-B).
+//!
+//! Task submissions travel through a cloud-hosted service: the client
+//! makes an HTTPS call; the cloud stores the payload (a fast KV tier for
+//! payloads ≤ 20 kB, an object store above that — FuncX's
+//! ElastiCache/S3 split, §V-C1) and forwards the task to the endpoint's
+//! outbound connection; the endpoint fetches the payload and hands the
+//! task to a worker. Results retrace the path. Payloads above 10 MB are
+//! rejected, which is why large data must move via ProxyStore.
+//!
+//! Effective payload throughput through the cloud tiers is low (API
+//! chunking, base64/pickle inflation); values are calibrated so the
+//! server→worker communication reductions of Fig. 3 (~2–3× at 10 kB,
+//! ~10× at 1 MB when proxied) are reproduced.
+
+use crate::fabric::Fabric;
+use crate::task::{TaskResult, TaskSpec};
+use crate::worker::{WorkerPool, WorkerPoolConfig};
+use hetflow_sim::{channel, Dist, Sender, Sim, SimRng, Tracer};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+/// Tunables of the cloud FaaS model.
+#[derive(Clone, Debug)]
+pub struct FnXParams {
+    /// Client→cloud HTTPS request latency (the dispatch cost the paper
+    /// reports as "a median of 100 ms", §V-D3).
+    pub https_latency: Dist,
+    /// Fast-KV tier (ElastiCache) per-operation latency.
+    pub small_store_op: Dist,
+    /// Fast-KV tier effective payload throughput, bytes/s.
+    pub small_store_bw: f64,
+    /// Object-store tier (S3) per-operation latency.
+    pub large_store_op: Dist,
+    /// Object-store tier effective payload throughput, bytes/s.
+    pub large_store_bw: f64,
+    /// Payloads at or below this use the fast-KV tier (20 kB in FuncX).
+    pub small_threshold: u64,
+    /// Hard payload cap (10 MB in FuncX); larger submissions panic.
+    pub payload_cap: u64,
+    /// Cloud→endpoint forwarding latency (outbound AMQP connection).
+    pub forward_latency: Dist,
+    /// Cloud→client result delivery latency.
+    pub result_latency: Dist,
+}
+
+impl Default for FnXParams {
+    fn default() -> Self {
+        FnXParams {
+            https_latency: Dist::LogNormal { median: 0.09, sigma: 0.35 },
+            small_store_op: Dist::LogNormal { median: 0.04, sigma: 0.3 },
+            small_store_bw: 4.0e4,
+            large_store_op: Dist::LogNormal { median: 0.2, sigma: 0.3 },
+            large_store_bw: 8.0e5,
+            small_threshold: 20_000,
+            payload_cap: 10_000_000,
+            forward_latency: Dist::LogNormal { median: 0.05, sigma: 0.3 },
+            result_latency: Dist::LogNormal { median: 0.06, sigma: 0.3 },
+        }
+    }
+}
+
+impl FnXParams {
+    /// Cost of one cloud-store put or get for a payload of `bytes`.
+    fn store_op(&self, rng: &mut SimRng, bytes: u64) -> std::time::Duration {
+        let (op, bw) = if bytes <= self.small_threshold {
+            (&self.small_store_op, self.small_store_bw)
+        } else {
+            (&self.large_store_op, self.large_store_bw)
+        };
+        hetflow_sim::time::secs(op.sample(rng) + bytes as f64 / bw)
+    }
+}
+
+/// One endpoint registration: a worker pool plus the topics routed to it.
+pub struct EndpointSpec {
+    /// The pool this endpoint manages.
+    pub pool: WorkerPoolConfig,
+    /// Task topics executed here.
+    pub topics: Vec<&'static str>,
+    /// The endpoint's outbound connection to the cloud. While offline,
+    /// the cloud *holds* tasks and the endpoint holds results —
+    /// §IV-A3's robustness property.
+    pub connectivity: crate::reliability::Connectivity,
+}
+
+impl EndpointSpec {
+    /// An endpoint with a permanently-connected link.
+    pub fn reliable(pool: WorkerPoolConfig, topics: Vec<&'static str>) -> Self {
+        EndpointSpec { pool, topics, connectivity: crate::reliability::Connectivity::always_on() }
+    }
+}
+
+struct Inner {
+    sim: Sim,
+    params: FnXParams,
+    rng: RefCell<SimRng>,
+    route: HashMap<String, usize>,
+    pools: Vec<WorkerPool>,
+    connectivity: Vec<crate::reliability::Connectivity>,
+    results: Sender<TaskResult>,
+    submitted: Cell<u64>,
+    returned: Cell<u64>,
+    payload_bytes: Cell<u64>,
+}
+
+/// The FnX executor: routes tasks through the cloud to endpoints.
+#[derive(Clone)]
+pub struct FnXExecutor {
+    inner: Rc<Inner>,
+}
+
+impl FnXExecutor {
+    /// Builds the executor, spawning one worker pool per endpoint.
+    /// Completed results are delivered on `results`.
+    pub fn new(
+        sim: &Sim,
+        params: FnXParams,
+        endpoints: Vec<EndpointSpec>,
+        results: Sender<TaskResult>,
+        rng: SimRng,
+        tracer: Tracer,
+    ) -> FnXExecutor {
+        let mut route = HashMap::new();
+        let mut pools = Vec::new();
+        let mut connectivity = Vec::new();
+        let mut pool_streams = Vec::new();
+        for (i, ep) in endpoints.into_iter().enumerate() {
+            for topic in &ep.topics {
+                let prev = route.insert((*topic).to_owned(), i);
+                assert!(prev.is_none(), "topic {topic} routed to two endpoints");
+            }
+            let (pool_res_tx, pool_res_rx) = channel::<TaskResult>();
+            let pool =
+                WorkerPool::spawn(sim, ep.pool, pool_res_tx, &rng.substream(i as u64), tracer.clone());
+            pools.push(pool);
+            connectivity.push(ep.connectivity);
+            pool_streams.push(pool_res_rx);
+        }
+        let inner = Rc::new(Inner {
+            sim: sim.clone(),
+            params,
+            rng: RefCell::new(rng.substream(u64::MAX)),
+            route,
+            pools,
+            connectivity,
+            results,
+            submitted: Cell::new(0),
+            returned: Cell::new(0),
+            payload_bytes: Cell::new(0),
+        });
+        // One return-path actor per endpoint.
+        for (i, rx) in pool_streams.into_iter().enumerate() {
+            let inner2 = Rc::clone(&inner);
+            sim.spawn(async move {
+                while let Some(result) = rx.recv().await {
+                    let inner3 = Rc::clone(&inner2);
+                    inner2.sim.spawn(async move {
+                        FnXExecutor::return_result(inner3, result, i).await;
+                    });
+                }
+            });
+        }
+        FnXExecutor { inner }
+    }
+
+    /// Endpoint worker pools (for utilization metrics).
+    pub fn pools(&self) -> &[WorkerPool] {
+        &self.inner.pools
+    }
+
+    /// Tasks submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.inner.submitted.get()
+    }
+
+    /// Results returned so far.
+    pub fn returned(&self) -> u64 {
+        self.inner.returned.get()
+    }
+
+    /// Total payload bytes moved through the cloud (both directions).
+    pub fn cloud_payload_bytes(&self) -> u64 {
+        self.inner.payload_bytes.get()
+    }
+
+    async fn deliver(inner: Rc<Inner>, task: TaskSpec, endpoint: usize) {
+        let bytes = task.wire_bytes();
+        // Cloud stores the payload, forwards the invocation, endpoint
+        // fetches the payload. While the endpoint is offline the cloud
+        // simply holds the task (§IV-A3).
+        let put = inner.params.store_op(&mut inner.rng.borrow_mut(), bytes);
+        inner.sim.sleep(put).await;
+        inner.connectivity[endpoint].wait_online().await;
+        let fwd = inner.params.forward_latency.sample_secs(&mut inner.rng.borrow_mut());
+        inner.sim.sleep(fwd).await;
+        let get = inner.params.store_op(&mut inner.rng.borrow_mut(), bytes);
+        inner.sim.sleep(get).await;
+        inner.payload_bytes.set(inner.payload_bytes.get() + 2 * bytes);
+        let _ = inner.pools[endpoint].tasks.send_now(task);
+    }
+
+    async fn return_result(inner: Rc<Inner>, mut result: TaskResult, endpoint: usize) {
+        let bytes = result.wire_bytes();
+        // The endpoint buffers the result while offline, then uploads;
+        // the cloud notifies the client, which fetches it.
+        inner.connectivity[endpoint].wait_online().await;
+        let put = inner.params.store_op(&mut inner.rng.borrow_mut(), bytes);
+        inner.sim.sleep(put).await;
+        let lat = inner.params.result_latency.sample_secs(&mut inner.rng.borrow_mut());
+        inner.sim.sleep(lat).await;
+        let get = inner.params.store_op(&mut inner.rng.borrow_mut(), bytes);
+        inner.sim.sleep(get).await;
+        inner.payload_bytes.set(inner.payload_bytes.get() + 2 * bytes);
+        result.timing.server_result_received = Some(inner.sim.now());
+        inner.returned.set(inner.returned.get() + 1);
+        let _ = inner.results.send_now(result);
+    }
+}
+
+impl Fabric for FnXExecutor {
+    fn submit(&self, mut task: TaskSpec) -> Pin<Box<dyn Future<Output = ()> + '_>> {
+        Box::pin(async move {
+            let inner = &self.inner;
+            let bytes = task.wire_bytes();
+            assert!(
+                bytes <= inner.params.payload_cap,
+                "FnX payload {} bytes exceeds the {} byte cap (topic {}): large data \
+                 must be passed by reference",
+                bytes,
+                inner.params.payload_cap,
+                task.topic,
+            );
+            let &endpoint = inner
+                .route
+                .get(&task.topic)
+                .unwrap_or_else(|| panic!("no endpoint registered for topic {}", task.topic));
+            task.timing.dispatched = Some(inner.sim.now());
+            // The client pays the HTTPS round trip; the rest of the
+            // journey proceeds in the cloud.
+            let https = inner.params.https_latency.sample_secs(&mut inner.rng.borrow_mut());
+            inner.sim.sleep(https).await;
+            inner.submitted.set(inner.submitted.get() + 1);
+            let inner2 = Rc::clone(inner);
+            inner.sim.spawn(async move {
+                FnXExecutor::deliver(inner2, task, endpoint).await;
+            });
+        })
+    }
+
+    fn label(&self) -> &'static str {
+        "fnx"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetflow_store::SiteId;
+    use hetflow_sim::Receiver;
+
+    fn fixed_params() -> FnXParams {
+        FnXParams {
+            https_latency: Dist::Constant(0.1),
+            small_store_op: Dist::Constant(0.04),
+            small_store_bw: 4.0e4,
+            large_store_op: Dist::Constant(0.2),
+            large_store_bw: 8.0e5,
+            small_threshold: 20_000,
+            payload_cap: 10_000_000,
+            forward_latency: Dist::Constant(0.05),
+            result_latency: Dist::Constant(0.06),
+        }
+    }
+
+    fn setup(workers: usize) -> (Sim, FnXExecutor, Receiver<TaskResult>) {
+        let sim = Sim::new();
+        let (res_tx, res_rx) = channel();
+        let exec = FnXExecutor::new(
+            &sim,
+            fixed_params(),
+            vec![EndpointSpec::reliable(
+                WorkerPoolConfig::bare(SiteId(0), "theta", workers),
+                vec!["noop", "unit"],
+            )],
+            res_tx,
+            SimRng::from_seed(5),
+            Tracer::disabled(),
+        );
+        (sim, exec, res_rx)
+    }
+
+    #[test]
+    fn submit_pays_only_https() {
+        let (sim, exec, _res) = setup(1);
+        let s = sim.clone();
+        let e = exec.clone();
+        let h = sim.spawn(async move {
+            e.submit(TaskSpec::noop(0, 1_000)).await;
+            s.now().as_secs_f64()
+        });
+        let t = sim.block_on(h);
+        assert!((t - 0.1).abs() < 1e-9, "dispatch cost = HTTPS RTT, got {t}");
+    }
+
+    #[test]
+    fn task_executes_and_result_returns() {
+        let (sim, exec, res_rx) = setup(1);
+        let e = exec.clone();
+        sim.spawn(async move {
+            e.submit(TaskSpec::noop(7, 1_000)).await;
+        });
+        sim.run();
+        let results = res_rx.drain_now();
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.id, 7);
+        assert!(r.timing.worker_started.is_some());
+        assert!(r.timing.server_result_received.is_some());
+        assert_eq!(exec.submitted(), 1);
+        assert_eq!(exec.returned(), 1);
+    }
+
+    #[test]
+    fn larger_payloads_cost_more_cloud_time() {
+        // Compare the dispatched→worker_started span for 500 B-ish vs
+        // 1 MB payloads: the cloud path dominates, reproducing Fig. 3's
+        // shape.
+        let span_for = |payload: u64| {
+            let (sim, exec, res_rx) = setup(1);
+            let e = exec.clone();
+            sim.spawn(async move {
+                e.submit(TaskSpec::noop(0, payload)).await;
+            });
+            sim.run();
+            let r = &res_rx.drain_now()[0];
+            r.timing.server_to_worker().unwrap().as_secs_f64()
+        };
+        let small = span_for(500); // proxy-sized
+        let mid = span_for(10_000);
+        let large = span_for(1_000_000);
+        assert!(mid / small > 1.8, "10kB/proxy ratio: {}", mid / small);
+        assert!(mid / small < 4.0, "10kB/proxy ratio: {}", mid / small);
+        assert!(large / small > 7.0, "1MB/proxy ratio: {}", large / small);
+        assert!(large / small < 16.0, "1MB/proxy ratio: {}", large / small);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the")]
+    fn oversize_payload_rejected() {
+        let (sim, exec, _res) = setup(1);
+        let e = exec.clone();
+        let h = sim.spawn(async move {
+            e.submit(TaskSpec::noop(0, 50_000_000)).await;
+        });
+        sim.block_on(h);
+    }
+
+    #[test]
+    #[should_panic(expected = "no endpoint registered")]
+    fn unrouted_topic_rejected() {
+        let (sim, exec, _res) = setup(1);
+        let e = exec.clone();
+        let h = sim.spawn(async move {
+            let t = TaskSpec::new(0, "mystery", vec![], Rc::new(|_| crate::task::TaskWork::noop()));
+            e.submit(t).await;
+        });
+        sim.block_on(h);
+    }
+
+    #[test]
+    fn concurrent_submissions_pipeline() {
+        // The cloud path must not serialize independent tasks.
+        let (sim, exec, res_rx) = setup(4);
+        let e = exec.clone();
+        sim.spawn(async move {
+            for i in 0..4 {
+                e.submit(TaskSpec::noop(i, 1_000)).await;
+            }
+        });
+        let r = sim.run();
+        assert_eq!(res_rx.drain_now().len(), 4);
+        // 4 sequential submissions pay 4×0.1s HTTPS; the rest overlaps.
+        // Full serial execution would take > 4×(0.1+0.04+0.05+0.04+…);
+        // ensure we finish well under that.
+        assert!(r.end.as_secs_f64() < 1.2, "end {}", r.end);
+    }
+
+    #[test]
+    fn topic_routing_to_correct_pool() {
+        let sim = Sim::new();
+        let (res_tx, res_rx) = channel();
+        let exec = FnXExecutor::new(
+            &sim,
+            fixed_params(),
+            vec![
+                EndpointSpec::reliable(WorkerPoolConfig::bare(SiteId(0), "cpu", 1), vec!["simulate"]),
+                EndpointSpec::reliable(WorkerPoolConfig::bare(SiteId(1), "gpu", 1), vec!["train"]),
+            ],
+            res_tx,
+            SimRng::from_seed(5),
+            Tracer::disabled(),
+        );
+        let e = exec.clone();
+        sim.spawn(async move {
+            let mk = |id, topic: &str| {
+                TaskSpec::new(id, topic, vec![], Rc::new(|_| crate::task::TaskWork::noop()))
+            };
+            e.submit(mk(0, "simulate")).await;
+            e.submit(mk(1, "train")).await;
+        });
+        sim.run();
+        let mut results = res_rx.drain_now();
+        results.sort_by_key(|r| r.id);
+        assert_eq!(results[0].worker, "cpu/0");
+        assert_eq!(results[0].site, SiteId(0));
+        assert_eq!(results[1].worker, "gpu/0");
+        assert_eq!(results[1].site, SiteId(1));
+    }
+}

@@ -1,0 +1,239 @@
+//! Failure and outage models.
+//!
+//! §IV-A3 of the paper credits the cloud-hosted services with
+//! robustness: "both FuncX and Globus's services accept and store tasks
+//! (and results) even while remote endpoints (or clients) are
+//! unavailable so tasks can be resumed when endpoints reconnect."
+//! [`Connectivity`] models an endpoint's outbound connection going up
+//! and down; the FnX fabric holds tasks in the cloud while the endpoint
+//! is offline. [`FailureModel`] models worker-level task failures with
+//! in-place re-execution.
+
+use hetflow_sim::{Dist, Event, Sim, SimRng, SimTime};
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
+struct ConnState {
+    online: Cell<bool>,
+    changed: Event,
+    outages_seen: Cell<u32>,
+}
+
+/// An endpoint's connection state over time.
+#[derive(Clone)]
+pub struct Connectivity {
+    state: Rc<ConnState>,
+}
+
+impl Connectivity {
+    /// A connection that never drops.
+    pub fn always_on() -> Self {
+        Connectivity {
+            state: Rc::new(ConnState {
+                online: Cell::new(true),
+                changed: Event::new(),
+                outages_seen: Cell::new(0),
+            }),
+        }
+    }
+
+    /// A connection that goes offline at each `(start, duration)`
+    /// window. Windows must be sorted and non-overlapping.
+    pub fn scheduled(sim: &Sim, outages: Vec<(SimTime, Duration)>) -> Self {
+        for pair in outages.windows(2) {
+            assert!(
+                pair[0].0 + pair[0].1 <= pair[1].0,
+                "outage windows must be sorted and disjoint"
+            );
+        }
+        let conn = Connectivity::always_on();
+        let state = Rc::clone(&conn.state);
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            for (start, duration) in outages {
+                sim2.sleep_until(start).await;
+                state.online.set(false);
+                state.outages_seen.set(state.outages_seen.get() + 1);
+                state.changed.set();
+                state.changed.clear();
+                sim2.sleep(duration).await;
+                state.online.set(true);
+                state.changed.set();
+                state.changed.clear();
+            }
+        });
+        conn
+    }
+
+    /// Current state.
+    pub fn is_online(&self) -> bool {
+        self.state.online.get()
+    }
+
+    /// Number of outages that have begun so far.
+    pub fn outages_seen(&self) -> u32 {
+        self.state.outages_seen.get()
+    }
+
+    /// Resolves once the connection is online (immediately if it is).
+    pub async fn wait_online(&self) {
+        while !self.state.online.get() {
+            self.state.changed.wait_next().await;
+        }
+    }
+
+    /// Manually set the state (for tests and interactive scenarios).
+    pub fn set_online(&self, online: bool) {
+        if self.state.online.get() != online {
+            if !online {
+                self.state.outages_seen.set(self.state.outages_seen.get() + 1);
+            }
+            self.state.online.set(online);
+            self.state.changed.set();
+            self.state.changed.clear();
+        }
+    }
+}
+
+/// Worker-level task failure model: each execution attempt fails with
+/// probability `prob`; a failed attempt wastes a fraction of the
+/// compute time plus a detection/restart delay, then the task is
+/// re-executed on the same worker.
+#[derive(Clone, Debug)]
+pub struct FailureModel {
+    /// Per-attempt failure probability.
+    pub prob: f64,
+    /// Fraction of the compute duration spent before the failure
+    /// (uniform in `[0, 1]` scaled by this cap).
+    pub waste_fraction: f64,
+    /// Detection + restart delay.
+    pub restart_delay: Dist,
+    /// Attempts before giving up (panics beyond — campaigns treat
+    /// unrecoverable tasks as configuration errors).
+    pub max_attempts: u32,
+}
+
+impl FailureModel {
+    /// A model that never fails (useful default).
+    pub fn none() -> Option<FailureModel> {
+        None
+    }
+
+    /// Draws whether the next attempt fails.
+    pub fn attempt_fails(&self, rng: &mut SimRng) -> bool {
+        rng.chance(self.prob)
+    }
+
+    /// Time wasted by a failed attempt on a task of `compute` length.
+    pub fn wasted(&self, compute: Duration, rng: &mut SimRng) -> Duration {
+        let frac = rng.unit() * self.waste_fraction.clamp(0.0, 1.0);
+        let waste = compute.mul_f64(frac);
+        waste + self.restart_delay.sample_secs(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetflow_sim::time::secs;
+
+    #[test]
+    fn always_on_never_blocks() {
+        let sim = Sim::new();
+        let conn = Connectivity::always_on();
+        let c = conn.clone();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            c.wait_online().await;
+            s.now()
+        });
+        assert_eq!(sim.block_on(h), SimTime::ZERO);
+        assert!(conn.is_online());
+        assert_eq!(conn.outages_seen(), 0);
+    }
+
+    #[test]
+    fn scheduled_outage_blocks_until_reconnect() {
+        let sim = Sim::new();
+        let conn = Connectivity::scheduled(
+            &sim,
+            vec![(SimTime::from_secs(10), Duration::from_secs(30))],
+        );
+        let c = conn.clone();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.sleep(secs(15.0)).await; // mid-outage
+            assert!(!c.is_online());
+            c.wait_online().await;
+            s.now()
+        });
+        assert_eq!(sim.block_on(h), SimTime::from_secs(40));
+        assert_eq!(conn.outages_seen(), 1);
+    }
+
+    #[test]
+    fn multiple_outages_in_order() {
+        let sim = Sim::new();
+        let conn = Connectivity::scheduled(
+            &sim,
+            vec![
+                (SimTime::from_secs(10), Duration::from_secs(5)),
+                (SimTime::from_secs(30), Duration::from_secs(5)),
+            ],
+        );
+        sim.run();
+        assert_eq!(conn.outages_seen(), 2);
+        assert!(conn.is_online());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and disjoint")]
+    fn overlapping_outages_rejected() {
+        let sim = Sim::new();
+        let _ = Connectivity::scheduled(
+            &sim,
+            vec![
+                (SimTime::from_secs(10), Duration::from_secs(20)),
+                (SimTime::from_secs(15), Duration::from_secs(5)),
+            ],
+        );
+    }
+
+    #[test]
+    fn manual_toggle() {
+        let sim = Sim::new();
+        let conn = Connectivity::always_on();
+        conn.set_online(false);
+        assert!(!conn.is_online());
+        assert_eq!(conn.outages_seen(), 1);
+        let c = conn.clone();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            c.wait_online().await;
+            s.now()
+        });
+        let s2 = sim.clone();
+        sim.spawn(async move {
+            s2.sleep(secs(3.0)).await;
+            conn.set_online(true);
+        });
+        assert_eq!(sim.block_on(h), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn failure_model_statistics() {
+        let m = FailureModel {
+            prob: 0.3,
+            waste_fraction: 0.5,
+            restart_delay: Dist::Constant(1.0),
+            max_attempts: 5,
+        };
+        let mut rng = SimRng::from_seed(4);
+        let fails = (0..10_000).filter(|_| m.attempt_fails(&mut rng)).count();
+        assert!((2_700..3_300).contains(&fails), "{fails}");
+        let wasted = m.wasted(Duration::from_secs(100), &mut rng);
+        assert!(wasted >= Duration::from_secs(1));
+        assert!(wasted <= Duration::from_secs(51));
+    }
+}

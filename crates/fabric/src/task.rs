@@ -1,0 +1,391 @@
+//! The task model shared by all compute fabrics.
+//!
+//! A [`TaskSpec`] is a function invocation: a topic (task type), input
+//! arguments (inline values or [`UntypedProxy`] references), and a
+//! compute closure that runs on a worker. The closure does *real* work —
+//! training a model, scoring molecules — and declares how long the task
+//! occupies the worker in virtual time and how large its output is.
+//!
+//! [`TaskTiming`] carries the life-cycle stamps the paper's evaluation
+//! decomposes: creation → server → dispatch → worker start → inputs
+//! resolved → compute done → result received → result data ready
+//! (§V-C1, §V-D).
+
+use hetflow_store::{SiteId, UntypedProxy};
+use hetflow_sim::{SimRng, SimTime};
+use std::any::Any;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Unique task identifier within a run.
+pub type TaskId = u64;
+
+/// Fixed wire overhead of a task envelope (serialized function body,
+/// metadata, headers) in bytes.
+pub const TASK_ENVELOPE_BYTES: u64 = 1_000;
+
+/// One task argument.
+#[derive(Clone)]
+pub enum Arg {
+    /// Value travels inline through the control plane.
+    Inline {
+        /// Declared serialized size.
+        bytes: u64,
+        /// The actual value.
+        value: Rc<dyn Any>,
+    },
+    /// Value was placed in a store; only the reference travels.
+    Proxied(UntypedProxy),
+}
+
+impl Arg {
+    /// Builds an inline argument.
+    pub fn inline<T: 'static>(value: T, bytes: u64) -> Arg {
+        Arg::Inline { bytes, value: Rc::new(value) }
+    }
+
+    /// Bytes this argument adds to the task envelope.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Arg::Inline { bytes, .. } => *bytes,
+            Arg::Proxied(p) => p.wire_size(),
+        }
+    }
+
+    /// Size of the underlying data (inline size, or the proxy target's).
+    pub fn data_bytes(&self) -> u64 {
+        match self {
+            Arg::Inline { bytes, .. } => *bytes,
+            Arg::Proxied(p) => p.target_size(),
+        }
+    }
+
+    /// True for proxied arguments.
+    pub fn is_proxied(&self) -> bool {
+        matches!(self, Arg::Proxied(_))
+    }
+}
+
+/// What the worker observed while resolving inputs and computing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerReport {
+    /// Time spent resolving proxied inputs.
+    pub resolve_wait: Duration,
+    /// Time the compute occupied the worker.
+    pub compute_time: Duration,
+    /// Time spent (de)serializing on the worker.
+    pub ser_time: Duration,
+    /// Number of proxied inputs that were already local (prefetched).
+    pub local_inputs: u32,
+    /// Number of proxied inputs that required a wait.
+    pub remote_inputs: u32,
+    /// Execution attempts (1 = no failures; >1 means the worker retried
+    /// after injected failures).
+    pub attempts: u32,
+}
+
+/// Execution context handed to a task's compute closure.
+pub struct TaskCtx<'a> {
+    /// Resolved input values, in argument order.
+    pub inputs: Vec<Rc<dyn Any>>,
+    /// Worker-local random stream.
+    pub rng: &'a mut SimRng,
+    /// The site the worker runs on.
+    pub site: SiteId,
+}
+
+impl TaskCtx<'_> {
+    /// Downcasts input `i` to `T`, panicking with a useful message on
+    /// type mismatch (a task wiring bug, not a runtime condition).
+    pub fn input<T: 'static>(&self, i: usize) -> Rc<T> {
+        Rc::clone(&self.inputs[i])
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("task input {i} has unexpected type"))
+    }
+}
+
+/// Output of a compute closure.
+pub struct TaskWork {
+    /// Virtual time the task occupies the worker.
+    pub compute_time: Duration,
+    /// The produced value.
+    pub output: Rc<dyn Any>,
+    /// Declared serialized size of the output.
+    pub output_size: u64,
+}
+
+impl TaskWork {
+    /// Convenience constructor.
+    pub fn new<T: 'static>(output: T, output_size: u64, compute_time: Duration) -> Self {
+        TaskWork { compute_time, output: Rc::new(output), output_size }
+    }
+
+    /// A no-op result: empty output, zero compute (the synthetic tasks
+    /// of §V-C).
+    pub fn noop() -> Self {
+        TaskWork { compute_time: Duration::ZERO, output: Rc::new(()), output_size: 0 }
+    }
+}
+
+/// The compute closure type. Runs on the worker; must be deterministic
+/// given the context RNG.
+pub type TaskFn = Rc<dyn Fn(&mut TaskCtx<'_>) -> TaskWork>;
+
+/// Life-cycle stamps of one task. `None` means the stage has not
+/// happened (or does not exist on that fabric).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TaskTiming {
+    /// Thinker created the task.
+    pub created: Option<SimTime>,
+    /// Thinker finished serializing (incl. proxying) and queued it.
+    pub submitted: Option<SimTime>,
+    /// Task server received it.
+    pub server_received: Option<SimTime>,
+    /// Task server handed it to the compute fabric.
+    pub dispatched: Option<SimTime>,
+    /// Worker began the task.
+    pub worker_started: Option<SimTime>,
+    /// All proxied inputs resolved on the worker.
+    pub inputs_resolved: Option<SimTime>,
+    /// Compute finished on the worker.
+    pub compute_finished: Option<SimTime>,
+    /// Result left the worker.
+    pub result_dispatched: Option<SimTime>,
+    /// Task server received the result.
+    pub server_result_received: Option<SimTime>,
+    /// Thinker was notified of completion.
+    pub thinker_notified: Option<SimTime>,
+    /// Thinker finished resolving the result data.
+    pub result_ready: Option<SimTime>,
+}
+
+impl TaskTiming {
+    fn span(a: Option<SimTime>, b: Option<SimTime>) -> Option<Duration> {
+        Some(b? - a?)
+    }
+
+    /// Thinker → task server communication time.
+    pub fn thinker_to_server(&self) -> Option<Duration> {
+        Self::span(self.submitted, self.server_received)
+    }
+
+    /// Task server → worker-start communication time.
+    pub fn server_to_worker(&self) -> Option<Duration> {
+        Self::span(self.dispatched, self.worker_started)
+    }
+
+    /// Time on the worker (deserialize + resolve + compute + serialize).
+    pub fn time_on_worker(&self) -> Option<Duration> {
+        Self::span(self.worker_started, self.result_dispatched)
+    }
+
+    /// Worker → task server return communication.
+    pub fn worker_to_server(&self) -> Option<Duration> {
+        Self::span(self.result_dispatched, self.server_result_received)
+    }
+
+    /// Task server → thinker notification.
+    pub fn server_to_thinker(&self) -> Option<Duration> {
+        Self::span(self.server_result_received, self.thinker_notified)
+    }
+
+    /// Completion → thinker-notified (the paper's "reaction time"
+    /// notification component, Fig. 5 top).
+    pub fn notification(&self) -> Option<Duration> {
+        Self::span(self.compute_finished, self.thinker_notified)
+    }
+
+    /// Thinker-notified → result data available (Fig. 5 bottom).
+    pub fn data_wait(&self) -> Option<Duration> {
+        Self::span(self.thinker_notified, self.result_ready)
+    }
+
+    /// Full round trip: created → result data ready.
+    pub fn lifetime(&self) -> Option<Duration> {
+        Self::span(self.created, self.result_ready.or(self.thinker_notified))
+    }
+
+    /// Total overhead: lifetime minus compute (the paper's Fig. 7b
+    /// metric: "time between when a task was created and when the result
+    /// was read that is not the task running").
+    pub fn overhead(&self) -> Option<Duration> {
+        let lifetime = self.lifetime()?;
+        let compute = Self::span(self.inputs_resolved, self.compute_finished)?;
+        Some(lifetime.saturating_sub(compute))
+    }
+}
+
+/// A task ready for submission.
+pub struct TaskSpec {
+    /// Unique id.
+    pub id: TaskId,
+    /// Task type, e.g. `"simulate"`, `"train"`, `"infer"`, `"sample"`.
+    pub topic: String,
+    /// Input arguments.
+    pub args: Vec<Arg>,
+    /// The compute closure.
+    pub compute: TaskFn,
+    /// Accumulated serialization time so far (thinker/server side).
+    pub ser_time: Duration,
+    /// Life-cycle stamps.
+    pub timing: TaskTiming,
+}
+
+impl std::fmt::Debug for TaskSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskSpec")
+            .field("id", &self.id)
+            .field("topic", &self.topic)
+            .field("args", &self.args.len())
+            .field("wire_bytes", &self.wire_bytes())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TaskSpec {
+    /// Creates a task with the given topic, args and closure.
+    pub fn new(id: TaskId, topic: impl Into<String>, args: Vec<Arg>, compute: TaskFn) -> Self {
+        TaskSpec {
+            id,
+            topic: topic.into(),
+            args,
+            compute,
+            ser_time: Duration::ZERO,
+            timing: TaskTiming::default(),
+        }
+    }
+
+    /// A no-op task with one inline payload of `bytes` — the synthetic
+    /// workload of §V-C.
+    pub fn noop(id: TaskId, bytes: u64) -> Self {
+        TaskSpec::new(
+            id,
+            "noop",
+            vec![Arg::inline(vec![0u8; 0], bytes)],
+            Rc::new(|_ctx| TaskWork::noop()),
+        )
+    }
+
+    /// Total wire size of the serialized task envelope.
+    pub fn wire_bytes(&self) -> u64 {
+        TASK_ENVELOPE_BYTES + self.args.iter().map(Arg::wire_bytes).sum::<u64>()
+    }
+}
+
+/// A completed task returning to the thinker.
+pub struct TaskResult {
+    /// Task id.
+    pub id: TaskId,
+    /// Task topic.
+    pub topic: String,
+    /// The output (inline or proxied, per the result policy).
+    pub output: Arg,
+    /// Total input data size (bytes of underlying data, not wire size).
+    pub input_bytes: u64,
+    /// Worker-side observations.
+    pub report: WorkerReport,
+    /// Life-cycle stamps (continued from the spec's).
+    pub timing: TaskTiming,
+    /// Which site executed the task.
+    pub site: SiteId,
+    /// Worker label, e.g. `"theta/3"`.
+    pub worker: String,
+}
+
+impl std::fmt::Debug for TaskResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskResult")
+            .field("id", &self.id)
+            .field("topic", &self.topic)
+            .field("site", &self.site)
+            .field("worker", &self.worker)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TaskResult {
+    /// Wire size of the result envelope.
+    pub fn wire_bytes(&self) -> u64 {
+        TASK_ENVELOPE_BYTES + self.output.wire_bytes()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // timing fixtures read best as sequential stamps
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_arg_sizes() {
+        let a = Arg::inline(vec![1u8, 2, 3], 1234);
+        assert_eq!(a.wire_bytes(), 1234);
+        assert_eq!(a.data_bytes(), 1234);
+        assert!(!a.is_proxied());
+    }
+
+    #[test]
+    fn noop_task_shape() {
+        let t = TaskSpec::noop(1, 10_000);
+        assert_eq!(t.topic, "noop");
+        assert_eq!(t.wire_bytes(), TASK_ENVELOPE_BYTES + 10_000);
+        let mut rng = SimRng::from_seed(1);
+        let mut ctx = TaskCtx { inputs: vec![Rc::new(())], rng: &mut rng, site: SiteId(0) };
+        let w = (t.compute)(&mut ctx);
+        assert_eq!(w.compute_time, Duration::ZERO);
+        assert_eq!(w.output_size, 0);
+    }
+
+    #[test]
+    fn timing_spans() {
+        let mut t = TaskTiming::default();
+        assert!(t.thinker_to_server().is_none());
+        t.created = Some(SimTime::from_secs(0));
+        t.submitted = Some(SimTime::from_secs(1));
+        t.server_received = Some(SimTime::from_secs(2));
+        t.dispatched = Some(SimTime::from_secs(3));
+        t.worker_started = Some(SimTime::from_secs(5));
+        t.inputs_resolved = Some(SimTime::from_secs(6));
+        t.compute_finished = Some(SimTime::from_secs(16));
+        t.result_dispatched = Some(SimTime::from_secs(17));
+        t.server_result_received = Some(SimTime::from_secs(18));
+        t.thinker_notified = Some(SimTime::from_secs(19));
+        t.result_ready = Some(SimTime::from_secs(21));
+        assert_eq!(t.thinker_to_server(), Some(Duration::from_secs(1)));
+        assert_eq!(t.server_to_worker(), Some(Duration::from_secs(2)));
+        assert_eq!(t.time_on_worker(), Some(Duration::from_secs(12)));
+        assert_eq!(t.worker_to_server(), Some(Duration::from_secs(1)));
+        assert_eq!(t.notification(), Some(Duration::from_secs(3)));
+        assert_eq!(t.data_wait(), Some(Duration::from_secs(2)));
+        assert_eq!(t.lifetime(), Some(Duration::from_secs(21)));
+        // overhead = 21 - 10 (compute) = 11
+        assert_eq!(t.overhead(), Some(Duration::from_secs(11)));
+    }
+
+    #[test]
+    fn lifetime_falls_back_to_notification() {
+        let mut t = TaskTiming::default();
+        t.created = Some(SimTime::from_secs(0));
+        t.thinker_notified = Some(SimTime::from_secs(4));
+        assert_eq!(t.lifetime(), Some(Duration::from_secs(4)));
+    }
+
+    #[test]
+    fn task_ctx_input_downcast() {
+        let mut rng = SimRng::from_seed(1);
+        let ctx = TaskCtx {
+            inputs: vec![Rc::new(42u32), Rc::new("hi")],
+            rng: &mut rng,
+            site: SiteId(0),
+        };
+        assert_eq!(*ctx.input::<u32>(0), 42);
+        assert_eq!(*ctx.input::<&str>(1), "hi");
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected type")]
+    fn task_ctx_wrong_type_panics() {
+        let mut rng = SimRng::from_seed(1);
+        let ctx = TaskCtx { inputs: vec![Rc::new(42u32)], rng: &mut rng, site: SiteId(0) };
+        let _ = ctx.input::<String>(0);
+    }
+}

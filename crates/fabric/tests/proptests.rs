@@ -1,0 +1,152 @@
+//! Property-based tests of fabric invariants: no task is lost, stamps
+//! are monotone, and both fabrics agree on *what* is computed (they may
+//! only differ on *when*).
+
+use hetflow_fabric::{
+    Arg, EndpointSpec, Fabric, FnXExecutor, FnXParams, HtexEndpoint, HtexExecutor, HtexParams,
+    LinkParams, TaskSpec, TaskWork, WorkerPoolConfig,
+};
+use hetflow_store::SiteId;
+use hetflow_sim::{channel, Receiver, Sim, SimRng, Tracer};
+use proptest::prelude::*;
+use std::rc::Rc;
+use std::time::Duration;
+
+const SITE: SiteId = SiteId(0);
+
+fn mk_task(id: u64, payload_kb: u64, compute_ms: u64) -> TaskSpec {
+    let mut t = TaskSpec::new(
+        id,
+        "noop",
+        vec![Arg::inline(id, payload_kb * 1_000)],
+        Rc::new(move |ctx| {
+            let v = *ctx.input::<u64>(0);
+            TaskWork::new(v * 2, 100, Duration::from_millis(compute_ms))
+        }),
+    );
+    t.timing.created = Some(hetflow_sim::SimTime::ZERO);
+    t
+}
+
+fn run_fabric(
+    fnx: bool,
+    workers: usize,
+    tasks: &[(u64, u64)],
+) -> Vec<hetflow_fabric::TaskResult> {
+    let sim = Sim::new();
+    let (res_tx, res_rx): (_, Receiver<hetflow_fabric::TaskResult>) = channel();
+    let pool = WorkerPoolConfig::bare(SITE, "w", workers);
+    let fabric: Rc<dyn Fabric> = if fnx {
+        Rc::new(FnXExecutor::new(
+            &sim,
+            FnXParams::default(),
+            vec![EndpointSpec::reliable(pool, vec!["noop"])],
+            res_tx,
+            SimRng::from_seed(7),
+            Tracer::disabled(),
+        ))
+    } else {
+        Rc::new(HtexExecutor::new(
+            &sim,
+            HtexParams::default(),
+            vec![HtexEndpoint { pool, topics: vec!["noop"], link: LinkParams::local() }],
+            res_tx,
+            SimRng::from_seed(7),
+            Tracer::disabled(),
+        ))
+    };
+    let tasks = tasks.to_vec();
+    let f = Rc::clone(&fabric);
+    sim.spawn(async move {
+        for (i, (kb, ms)) in tasks.into_iter().enumerate() {
+            f.submit(mk_task(i as u64, kb.min(8_000), ms)).await;
+        }
+    });
+    sim.run();
+    res_rx.drain_now()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every submitted task comes back exactly once, with the right
+    /// output, on both fabrics.
+    #[test]
+    fn no_task_lost_or_duplicated(
+        fnx in any::<bool>(),
+        workers in 1usize..6,
+        tasks in prop::collection::vec((1u64..500, 1u64..2_000), 1..25),
+    ) {
+        let results = run_fabric(fnx, workers, &tasks);
+        prop_assert_eq!(results.len(), tasks.len());
+        let mut ids: Vec<u64> = results.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), tasks.len());
+        for r in &results {
+            let out = match &r.output {
+                Arg::Inline { value, .. } => *Rc::clone(value).downcast::<u64>().unwrap(),
+                Arg::Proxied(_) => unreachable!("no result policy"),
+            };
+            prop_assert_eq!(out, r.id * 2);
+        }
+    }
+
+    /// Life-cycle stamps are monotone on every result.
+    #[test]
+    fn stamps_are_monotone(
+        fnx in any::<bool>(),
+        tasks in prop::collection::vec((1u64..500, 1u64..2_000), 1..15),
+    ) {
+        let results = run_fabric(fnx, 2, &tasks);
+        for r in &results {
+            let t = &r.timing;
+            let stamps = [
+                t.dispatched,
+                t.worker_started,
+                t.inputs_resolved,
+                t.compute_finished,
+                t.result_dispatched,
+                t.server_result_received,
+            ];
+            for pair in stamps.windows(2) {
+                let (a, b) = (pair[0].unwrap(), pair[1].unwrap());
+                prop_assert!(a <= b, "{a:?} > {b:?}");
+            }
+        }
+    }
+
+    /// Worker time accounts for at least the declared compute time.
+    #[test]
+    fn worker_time_covers_compute(
+        compute_ms in prop::collection::vec(1u64..5_000, 1..10),
+    ) {
+        let tasks: Vec<(u64, u64)> = compute_ms.iter().map(|&ms| (1, ms)).collect();
+        let results = run_fabric(true, 3, &tasks);
+        for r in &results {
+            let on_worker = r.timing.time_on_worker().unwrap();
+            prop_assert!(
+                on_worker >= r.report.compute_time,
+                "{on_worker:?} < {:?}",
+                r.report.compute_time
+            );
+        }
+    }
+
+    /// With one worker, compute windows never overlap (mutual
+    /// exclusion of the resource).
+    #[test]
+    fn single_worker_serializes_compute(
+        tasks in prop::collection::vec((1u64..100, 10u64..500), 2..10),
+    ) {
+        let results = run_fabric(false, 1, &tasks);
+        let mut windows: Vec<(hetflow_sim::SimTime, hetflow_sim::SimTime)> = results
+            .iter()
+            .map(|r| (r.timing.worker_started.unwrap(), r.timing.result_dispatched.unwrap()))
+            .collect();
+        windows.sort();
+        for pair in windows.windows(2) {
+            prop_assert!(pair[0].1 <= pair[1].0, "overlap: {pair:?}");
+        }
+    }
+}

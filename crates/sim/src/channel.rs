@@ -1,0 +1,532 @@
+//! Message channels between simulated actors.
+//!
+//! [`channel`] gives an unbounded multi-producer/multi-consumer FIFO — the
+//! workhorse for task queues, result queues, and worker pools.
+//! [`bounded`] adds backpressure for links with limited in-flight capacity.
+//! [`oneshot`] carries a single reply, used for request/response exchanges
+//! such as a worker returning a task result.
+//!
+//! Channels transport values instantaneously in virtual time; latency is
+//! modelled explicitly by the sender (sleep, then send), which keeps cost
+//! models visible at the call site rather than hidden in plumbing.
+//!
+//! Caveat: each send wakes exactly one waiting receiver. Dropping a
+//! `recv()` future after it has been polled (racing it in `select2` /
+//! `timeout`) can therefore consume a wakeup meant for another waiting
+//! receiver and strand a queued item until the next poll. Consume
+//! channels from plain `recv().await` loops; race on [`crate::Event`]s
+//! or oneshots instead.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// Error returned by [`Sender::send`] when every receiver is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by bounded sends that would block forever.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ClosedError;
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    recv_wakers: VecDeque<Waker>,
+    send_wakers: VecDeque<Waker>,
+    capacity: Option<usize>,
+    senders: usize,
+    receivers: usize,
+    total_sent: u64,
+}
+
+impl<T> ChanState<T> {
+    fn wake_one_receiver(&mut self) {
+        if let Some(w) = self.recv_wakers.pop_front() {
+            w.wake();
+        }
+    }
+    fn wake_all_receivers(&mut self) {
+        for w in self.recv_wakers.drain(..) {
+            w.wake();
+        }
+    }
+    fn wake_one_sender(&mut self) {
+        if let Some(w) = self.send_wakers.pop_front() {
+            w.wake();
+        }
+    }
+}
+
+/// Sending half of a channel. Clonable.
+pub struct Sender<T> {
+    state: Rc<RefCell<ChanState<T>>>,
+}
+
+/// Receiving half of a channel. Clonable; multiple receivers compete for
+/// items (work-sharing), each item is delivered exactly once.
+pub struct Receiver<T> {
+    state: Rc<RefCell<ChanState<T>>>,
+}
+
+/// Creates an unbounded MPMC FIFO channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// Creates a bounded MPMC FIFO channel; senders block (in virtual time)
+/// while `capacity` items are queued.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "bounded channel needs capacity >= 1");
+    with_capacity(Some(capacity))
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let state = Rc::new(RefCell::new(ChanState {
+        queue: VecDeque::new(),
+        recv_wakers: VecDeque::new(),
+        send_wakers: VecDeque::new(),
+        capacity,
+        senders: 1,
+        receivers: 1,
+        total_sent: 0,
+    }));
+    (Sender { state: Rc::clone(&state) }, Receiver { state })
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.state.borrow_mut().senders += 1;
+        Sender { state: Rc::clone(&self.state) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut s = self.state.borrow_mut();
+        s.senders -= 1;
+        if s.senders == 0 {
+            s.wake_all_receivers();
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.state.borrow_mut().receivers += 1;
+        Receiver { state: Rc::clone(&self.state) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut s = self.state.borrow_mut();
+        s.receivers -= 1;
+        if s.receivers == 0 {
+            // Senders blocked on capacity must observe closure.
+            for w in s.send_wakers.drain(..) {
+                w.wake();
+            }
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends without blocking. On an unbounded channel this always
+    /// succeeds while a receiver exists; on a bounded channel it also
+    /// succeeds (use [`Sender::send`] to respect capacity).
+    pub fn send_now(&self, value: T) -> Result<(), SendError<T>> {
+        let mut s = self.state.borrow_mut();
+        if s.receivers == 0 {
+            return Err(SendError(value));
+        }
+        s.queue.push_back(value);
+        s.total_sent += 1;
+        s.wake_one_receiver();
+        Ok(())
+    }
+
+    /// Sends, awaiting capacity on bounded channels.
+    pub fn send(&self, value: T) -> SendFuture<'_, T> {
+        SendFuture { sender: self, value: Some(value) }
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.borrow().queue.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when no receiver remains.
+    pub fn is_closed(&self) -> bool {
+        self.state.borrow().receivers == 0
+    }
+
+    /// Total items ever sent on this channel.
+    pub fn total_sent(&self) -> u64 {
+        self.state.borrow().total_sent
+    }
+}
+
+/// Future returned by [`Sender::send`].
+pub struct SendFuture<'a, T> {
+    sender: &'a Sender<T>,
+    value: Option<T>,
+}
+
+// No self-referential fields; safe to move after polling.
+impl<T> Unpin for SendFuture<'_, T> {}
+
+impl<T> Future for SendFuture<'_, T> {
+    type Output = Result<(), ClosedError>;
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut s = self.sender.state.borrow_mut();
+        if s.receivers == 0 {
+            return Poll::Ready(Err(ClosedError));
+        }
+        let at_capacity = s.capacity.is_some_and(|c| s.queue.len() >= c);
+        if at_capacity {
+            s.send_wakers.push_back(cx.waker().clone());
+            return Poll::Pending;
+        }
+        drop(s);
+        let value = self.value.take().expect("SendFuture polled after completion");
+        // Receiver count was checked above; send_now cannot fail here.
+        self.sender.send_now(value).map_err(|_| ClosedError)?;
+        Poll::Ready(Ok(()))
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Awaits the next item; resolves to `None` once the channel is empty
+    /// and all senders are gone.
+    pub fn recv(&self) -> RecvFuture<'_, T> {
+        RecvFuture { receiver: self }
+    }
+
+    /// Takes an item if one is queued.
+    pub fn try_recv(&self) -> Option<T> {
+        let mut s = self.state.borrow_mut();
+        let v = s.queue.pop_front();
+        if v.is_some() {
+            s.wake_one_sender();
+        }
+        v
+    }
+
+    /// Drains everything currently queued.
+    pub fn drain_now(&self) -> Vec<T> {
+        let mut s = self.state.borrow_mut();
+        let items: Vec<T> = s.queue.drain(..).collect();
+        for _ in 0..items.len() {
+            s.wake_one_sender();
+        }
+        items
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.borrow().queue.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct RecvFuture<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Future for RecvFuture<'_, T> {
+    type Output = Option<T>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut s = self.receiver.state.borrow_mut();
+        if let Some(v) = s.queue.pop_front() {
+            s.wake_one_sender();
+            return Poll::Ready(Some(v));
+        }
+        if s.senders == 0 {
+            return Poll::Ready(None);
+        }
+        s.recv_wakers.push_back(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oneshot
+// ---------------------------------------------------------------------------
+
+struct OneshotState<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+    sender_alive: bool,
+}
+
+/// Sending half of a oneshot channel.
+pub struct OneshotSender<T> {
+    state: Rc<RefCell<OneshotState<T>>>,
+}
+
+/// Receiving half of a oneshot channel; a future resolving to
+/// `Ok(value)` or `Err(Dropped)` if the sender vanished.
+pub struct OneshotReceiver<T> {
+    state: Rc<RefCell<OneshotState<T>>>,
+}
+
+/// The oneshot sender was dropped without sending.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Dropped;
+
+/// Creates a single-value channel.
+pub fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
+    let state = Rc::new(RefCell::new(OneshotState {
+        value: None,
+        waker: None,
+        sender_alive: true,
+    }));
+    (OneshotSender { state: Rc::clone(&state) }, OneshotReceiver { state })
+}
+
+impl<T> OneshotSender<T> {
+    /// Delivers the value, waking the receiver.
+    pub fn send(self, value: T) {
+        let mut s = self.state.borrow_mut();
+        s.value = Some(value);
+        if let Some(w) = s.waker.take() {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Drop for OneshotSender<T> {
+    fn drop(&mut self) {
+        let mut s = self.state.borrow_mut();
+        s.sender_alive = false;
+        if let Some(w) = s.waker.take() {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Future for OneshotReceiver<T> {
+    type Output = Result<T, Dropped>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut s = self.state.borrow_mut();
+        if let Some(v) = s.value.take() {
+            return Poll::Ready(Ok(v));
+        }
+        if !s.sender_alive {
+            return Poll::Ready(Err(Dropped));
+        }
+        s.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::secs;
+    use crate::SimTime;
+    use std::cell::RefCell as StdRefCell;
+
+    #[test]
+    fn send_then_recv() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u32>();
+        tx.send_now(5).unwrap();
+        let h = sim.spawn(async move { rx.recv().await });
+        assert_eq!(sim.block_on(h), Some(5));
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<&str>();
+        let s = sim.clone();
+        let recv_task = sim.spawn(async move {
+            let v = rx.recv().await;
+            (v, s.now())
+        });
+        let s2 = sim.clone();
+        sim.spawn(async move {
+            s2.sleep(secs(3.0)).await;
+            tx.send_now("hello").unwrap();
+        });
+        let (v, t) = sim.block_on(recv_task);
+        assert_eq!(v, Some("hello"));
+        assert_eq!(t, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u32>();
+        for i in 0..10 {
+            tx.send_now(i).unwrap();
+        }
+        let h = sim.spawn(async move {
+            let mut out = vec![];
+            for _ in 0..10 {
+                out.push(rx.recv().await.unwrap());
+            }
+            out
+        });
+        assert_eq!(sim.block_on(h), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn closed_channel_yields_none_after_drain() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u32>();
+        tx.send_now(1).unwrap();
+        drop(tx);
+        let h = sim.spawn(async move {
+            let a = rx.recv().await;
+            let b = rx.recv().await;
+            (a, b)
+        });
+        assert_eq!(sim.block_on(h), (Some(1), None));
+    }
+
+    #[test]
+    fn send_to_closed_fails() {
+        let (tx, rx) = channel::<u32>();
+        drop(rx);
+        assert_eq!(tx.send_now(9), Err(SendError(9)));
+        assert!(tx.is_closed());
+    }
+
+    #[test]
+    fn multiple_consumers_share_work() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u32>();
+        let got: Rc<StdRefCell<Vec<(usize, u32)>>> = Rc::default();
+        for worker in 0..3usize {
+            let rx = rx.clone();
+            let got = Rc::clone(&got);
+            let s = sim.clone();
+            sim.spawn(async move {
+                while let Some(item) = rx.recv().await {
+                    s.sleep(secs(1.0)).await; // busy for 1s each item
+                    got.borrow_mut().push((worker, item));
+                }
+            });
+        }
+        drop(rx);
+        for i in 0..6 {
+            tx.send_now(i).unwrap();
+        }
+        drop(tx);
+        let r = sim.run();
+        // 6 items, 3 workers, 1s each => 2s total.
+        assert_eq!(r.end, SimTime::from_secs(2));
+        let got = got.borrow();
+        assert_eq!(got.len(), 6);
+        let mut items: Vec<u32> = got.iter().map(|&(_, i)| i).collect();
+        items.sort_unstable();
+        assert_eq!(items, (0..6).collect::<Vec<_>>());
+        // All three workers participated.
+        let mut workers: Vec<usize> = got.iter().map(|&(w, _)| w).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        assert_eq!(workers, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bounded_send_applies_backpressure() {
+        let sim = Sim::new();
+        let (tx, rx) = bounded::<u32>(2);
+        let s = sim.clone();
+        let producer = sim.spawn(async move {
+            for i in 0..4 {
+                tx.send(i).await.unwrap();
+            }
+            s.now()
+        });
+        let s2 = sim.clone();
+        sim.spawn(async move {
+            loop {
+                s2.sleep(secs(1.0)).await;
+                if rx.recv().await.is_none() {
+                    break;
+                }
+            }
+        });
+        // Producer can enqueue 2 immediately, then waits for the consumer
+        // to drain one per second: items 3 and 4 enter at t=1 and t=2.
+        let t = sim.block_on(producer);
+        assert_eq!(t, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn bounded_send_fails_when_receiver_drops() {
+        let sim = Sim::new();
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send_now(0).unwrap(); // fill
+        let producer = sim.spawn(async move { tx.send(1).await });
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(secs(1.0)).await;
+            drop(rx);
+        });
+        assert_eq!(sim.block_on(producer), Err(ClosedError));
+    }
+
+    #[test]
+    fn try_recv_and_drain() {
+        let (tx, rx) = channel::<u32>();
+        assert_eq!(rx.try_recv(), None);
+        tx.send_now(1).unwrap();
+        tx.send_now(2).unwrap();
+        tx.send_now(3).unwrap();
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(rx.drain_now(), vec![2, 3]);
+        assert!(rx.is_empty());
+        assert_eq!(tx.total_sent(), 3);
+    }
+
+    #[test]
+    fn oneshot_roundtrip() {
+        let sim = Sim::new();
+        let (tx, rx) = oneshot::<u64>();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(secs(5.0)).await;
+            tx.send(99);
+        });
+        let h = sim.spawn(rx);
+        assert_eq!(sim.block_on(h), Ok(99));
+    }
+
+    #[test]
+    fn oneshot_dropped_sender() {
+        let sim = Sim::new();
+        let (tx, rx) = oneshot::<u64>();
+        sim.spawn(async move {
+            drop(tx);
+        });
+        let h = sim.spawn(rx);
+        assert_eq!(sim.block_on(h), Err(Dropped));
+    }
+
+    #[test]
+    fn oneshot_send_before_recv() {
+        let sim = Sim::new();
+        let (tx, rx) = oneshot::<&str>();
+        tx.send("early");
+        let h = sim.spawn(rx);
+        assert_eq!(sim.block_on(h), Ok("early"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Parametric distributions for latency and duration cost models.
+//!
+//! Calibration tables in `hetflow-core` describe every stochastic cost as a
+//! [`Dist`] value, so experiments can swap a constant for a long-tailed
+//! model with a one-line change, and property tests can reason about
+//! support bounds.
+
+use crate::rng::SimRng;
+use std::time::Duration;
+
+/// A one-dimensional distribution over non-negative reals.
+///
+/// All variants clamp samples at zero: cost models never produce negative
+/// latencies, even for `Normal` tails.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Dist {
+    /// Always `value`.
+    Constant(f64),
+    /// Uniform on `[lo, hi)`.
+    Uniform { lo: f64, hi: f64 },
+    /// Exponential with the given mean.
+    Exponential { mean: f64 },
+    /// Normal truncated at zero.
+    Normal { mean: f64, sd: f64 },
+    /// Log-normal parameterized by its *median* and the σ of the
+    /// underlying normal — the natural way to express "typically 500 ms,
+    /// occasionally seconds" service latencies.
+    LogNormal { median: f64, sigma: f64 },
+    /// Pareto (Lomax-style heavy tail) with minimum `scale` and shape
+    /// `alpha`; models rare multi-second stragglers.
+    Pareto { scale: f64, alpha: f64 },
+    /// `base + inner`: a deterministic floor plus stochastic excess.
+    Shifted { base: f64, inner: Box<Dist> },
+}
+
+impl Dist {
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        let x = match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => rng.uniform(*lo, *hi),
+            Dist::Exponential { mean } => {
+                // Inverse CDF on u in (0,1].
+                let u = 1.0 - rng.unit();
+                -mean * u.ln()
+            }
+            Dist::Normal { mean, sd } => mean + sd * rng.standard_normal(),
+            Dist::LogNormal { median, sigma } => {
+                (median.ln() + sigma * rng.standard_normal()).exp()
+            }
+            Dist::Pareto { scale, alpha } => {
+                let u = 1.0 - rng.unit();
+                scale / u.powf(1.0 / alpha)
+            }
+            Dist::Shifted { base, inner } => base + inner.sample(rng),
+        };
+        x.max(0.0)
+    }
+
+    /// Draws a sample interpreted as seconds and converts it to a
+    /// [`Duration`].
+    pub fn sample_secs(&self, rng: &mut SimRng) -> Duration {
+        crate::time::secs(self.sample(rng))
+    }
+
+    /// The distribution's mean, where defined (Pareto with `alpha <= 1`
+    /// returns infinity).
+    pub fn mean(&self) -> f64 {
+        match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => 0.5 * (lo + hi),
+            Dist::Exponential { mean } => *mean,
+            Dist::Normal { mean, .. } => *mean,
+            Dist::LogNormal { median, sigma } => median * (sigma * sigma / 2.0).exp(),
+            Dist::Pareto { scale, alpha } => {
+                if *alpha <= 1.0 {
+                    f64::INFINITY
+                } else {
+                    scale * alpha / (alpha - 1.0)
+                }
+            }
+            Dist::Shifted { base, inner } => base + inner.mean(),
+        }
+    }
+
+    /// A lower bound on the support (0 for all variants after clamping).
+    pub fn min_support(&self) -> f64 {
+        match self {
+            Dist::Constant(v) => v.max(0.0),
+            Dist::Uniform { lo, .. } => lo.max(0.0),
+            Dist::Exponential { .. } | Dist::Normal { .. } | Dist::LogNormal { .. } => 0.0,
+            Dist::Pareto { scale, .. } => scale.max(0.0),
+            Dist::Shifted { base, inner } => base + inner.min_support(),
+        }
+    }
+
+    /// Convenience constructor: a constant number of seconds.
+    pub fn const_secs(v: f64) -> Dist {
+        Dist::Constant(v)
+    }
+
+    /// Convenience constructor: a constant number of milliseconds.
+    pub fn const_millis(v: f64) -> Dist {
+        Dist::Constant(v / 1e3)
+    }
+
+    /// Log-normal from a median given in milliseconds.
+    pub fn lognormal_millis(median_ms: f64, sigma: f64) -> Dist {
+        Dist::LogNormal { median: median_ms / 1e3, sigma }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(d: &Dist, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::from_seed(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Dist::Constant(2.5);
+        let mut rng = SimRng::from_seed(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 2.5);
+        }
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Dist::Uniform { lo: 1.0, hi: 3.0 };
+        let mut rng = SimRng::from_seed(2);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..3.0).contains(&x));
+        }
+        assert!((mean_of(&d, 20_000, 3) - 2.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Dist::Exponential { mean: 0.5 };
+        assert!((mean_of(&d, 50_000, 4) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn normal_clamped_nonnegative() {
+        let d = Dist::Normal { mean: 0.1, sd: 1.0 };
+        let mut rng = SimRng::from_seed(5);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let d = Dist::LogNormal { median: 0.5, sigma: 0.4 };
+        let mut rng = SimRng::from_seed(6);
+        let mut v: Vec<f64> = (0..10_001).map(|_| d.sample(&mut rng)).collect();
+        v.sort_by(f64::total_cmp);
+        let median = v[5000];
+        assert!((median - 0.5).abs() < 0.02, "median {median}");
+    }
+
+    #[test]
+    fn lognormal_mean_formula() {
+        let d = Dist::LogNormal { median: 1.0, sigma: 0.5 };
+        let sampled = mean_of(&d, 100_000, 7);
+        assert!((sampled - d.mean()).abs() / d.mean() < 0.02);
+    }
+
+    #[test]
+    fn pareto_min_and_mean() {
+        let d = Dist::Pareto { scale: 1.0, alpha: 3.0 };
+        let mut rng = SimRng::from_seed(8);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 1.0);
+        }
+        assert!((mean_of(&d, 200_000, 9) - 1.5).abs() < 0.02);
+        assert_eq!(Dist::Pareto { scale: 1.0, alpha: 0.9 }.mean(), f64::INFINITY);
+    }
+
+    #[test]
+    fn shifted_adds_base() {
+        let d = Dist::Shifted { base: 2.0, inner: Box::new(Dist::Constant(0.5)) };
+        let mut rng = SimRng::from_seed(10);
+        assert_eq!(d.sample(&mut rng), 2.5);
+        assert_eq!(d.mean(), 2.5);
+        assert_eq!(d.min_support(), 2.5);
+    }
+
+    #[test]
+    fn sample_secs_converts() {
+        let d = Dist::const_millis(250.0);
+        let mut rng = SimRng::from_seed(11);
+        assert_eq!(d.sample_secs(&mut rng), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn min_support_values() {
+        assert_eq!(Dist::Uniform { lo: 0.2, hi: 0.4 }.min_support(), 0.2);
+        assert_eq!(Dist::Exponential { mean: 1.0 }.min_support(), 0.0);
+        assert_eq!(Dist::Constant(-1.0).min_support(), 0.0);
+    }
+}

@@ -1,0 +1,693 @@
+//! Single-threaded async executor over virtual time.
+//!
+//! Every actor in the system — thinker agents, task servers, FaaS
+//! endpoints, workers, transfer services — is an async task spawned on a
+//! [`Sim`]. Awaiting [`Sim::sleep`] advances the virtual clock instead of
+//! wall time; the run loop polls all runnable tasks, then jumps the clock
+//! to the next timer. Execution is deterministic: tasks are polled in FIFO
+//! wake order and timers fire in `(deadline, registration order)` order.
+
+use crate::time::SimTime;
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+type TaskId = u64;
+type LocalFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+/// FIFO queue of runnable task ids, shared with wakers.
+///
+/// This is the only piece of executor state behind a `Mutex`: `Waker` must
+/// be `Send + Sync` by type even though this executor never leaves its
+/// thread, so the wake path uses a lock-based queue instead of a `RefCell`.
+#[derive(Default)]
+struct ReadyQueue {
+    queue: Mutex<VecDeque<TaskId>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: TaskId) {
+        self.queue.lock().expect("ready queue poisoned").push_back(id);
+    }
+    fn pop(&self) -> Option<TaskId> {
+        self.queue.lock().expect("ready queue poisoned").pop_front()
+    }
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+/// A timer registration: fired flag plus the waker of the sleeping task.
+struct TimerEntry {
+    fired: Cell<bool>,
+    cancelled: Cell<bool>,
+    waker: RefCell<Option<Waker>>,
+}
+
+struct TimerKey {
+    at: SimTime,
+    seq: u64,
+    entry: Rc<TimerEntry>,
+}
+
+impl PartialEq for TimerKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerKey {}
+impl PartialOrd for TimerKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Core {
+    now: Cell<SimTime>,
+    next_task: Cell<TaskId>,
+    next_timer_seq: Cell<u64>,
+    timers: RefCell<BinaryHeap<Reverse<TimerKey>>>,
+    ready: Arc<ReadyQueue>,
+    tasks: RefCell<HashMap<TaskId, LocalFuture>>,
+    polls: Cell<u64>,
+    timer_fires: Cell<u64>,
+}
+
+/// Summary of a completed [`Sim::run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunReport {
+    /// Clock value when the run stopped.
+    pub end: SimTime,
+    /// Total future polls performed.
+    pub polls: u64,
+    /// Timers that fired.
+    pub timer_fires: u64,
+    /// Tasks still pending when the run stopped. Nonzero after a full
+    /// [`Sim::run`] means some actor is blocked on an event that can never
+    /// occur — usually a workflow bug.
+    pub pending_tasks: usize,
+}
+
+/// Handle to the simulation: clock, spawner, and timer source.
+///
+/// Cheap to clone; every actor captures one.
+#[derive(Clone)]
+pub struct Sim {
+    core: Rc<Core>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Creates an empty simulation at t=0.
+    pub fn new() -> Self {
+        Sim {
+            core: Rc::new(Core {
+                now: Cell::new(SimTime::ZERO),
+                next_task: Cell::new(0),
+                next_timer_seq: Cell::new(0),
+                timers: RefCell::new(BinaryHeap::new()),
+                ready: Arc::new(ReadyQueue::default()),
+                tasks: RefCell::new(HashMap::new()),
+                polls: Cell::new(0),
+                timer_fires: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now.get()
+    }
+
+    /// Spawns an async task; it becomes runnable immediately.
+    ///
+    /// Returns a [`JoinHandle`] that resolves to the task's output.
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        let state = Rc::new(RefCell::new(JoinState { result: None, waker: None }));
+        let state2 = Rc::clone(&state);
+        let id = self.core.next_task.get();
+        self.core.next_task.set(id + 1);
+        let wrapped: LocalFuture = Box::pin(async move {
+            let out = fut.await;
+            let mut s = state2.borrow_mut();
+            s.result = Some(out);
+            if let Some(w) = s.waker.take() {
+                w.wake();
+            }
+        });
+        self.core.tasks.borrow_mut().insert(id, wrapped);
+        self.core.ready.push(id);
+        JoinHandle { state }
+    }
+
+    /// Returns a future that completes after `d` of virtual time.
+    pub fn sleep(&self, d: Duration) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            deadline: self.now() + d,
+            entry: None,
+        }
+    }
+
+    /// Returns a future that completes at the absolute instant `at`
+    /// (immediately if `at` is in the past).
+    pub fn sleep_until(&self, at: SimTime) -> Sleep {
+        Sleep { sim: self.clone(), deadline: at, entry: None }
+    }
+
+    /// Yields once, letting every currently runnable task proceed before
+    /// this one resumes (at the same instant).
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { sim: self.clone(), polled: false }
+    }
+
+    fn register_timer(&self, at: SimTime) -> Rc<TimerEntry> {
+        let entry = Rc::new(TimerEntry {
+            fired: Cell::new(false),
+            cancelled: Cell::new(false),
+            waker: RefCell::new(None),
+        });
+        let seq = self.core.next_timer_seq.get();
+        self.core.next_timer_seq.set(seq + 1);
+        self.core.timers.borrow_mut().push(Reverse(TimerKey {
+            at,
+            seq,
+            entry: Rc::clone(&entry),
+        }));
+        entry
+    }
+
+    fn make_waker(&self, id: TaskId) -> Waker {
+        Waker::from(Arc::new(TaskWaker { id, ready: Arc::clone(&self.core.ready) }))
+    }
+
+    /// Polls every runnable task until none is runnable at the current
+    /// instant. Does not advance the clock. Returns the number of polls.
+    fn drain_ready(&self) -> u64 {
+        let mut polls = 0;
+        while let Some(id) = self.core.ready.pop() {
+            // Remove the future from the map while polling so the map is
+            // free for re-entrant spawns.
+            let fut = self.core.tasks.borrow_mut().remove(&id);
+            let Some(mut fut) = fut else {
+                continue; // completed task woken again: spurious, ignore
+            };
+            let waker = self.make_waker(id);
+            let mut cx = Context::from_waker(&waker);
+            polls += 1;
+            self.core.polls.set(self.core.polls.get() + 1);
+            if fut.as_mut().poll(&mut cx).is_pending() {
+                self.core.tasks.borrow_mut().insert(id, fut);
+            }
+        }
+        polls
+    }
+
+    /// Fires the earliest pending timer, advancing the clock to it.
+    /// Returns false when no live timer remains.
+    fn fire_next_timer(&self) -> bool {
+        loop {
+            let popped = self.core.timers.borrow_mut().pop();
+            let Some(Reverse(key)) = popped else { return false };
+            if key.entry.cancelled.get() {
+                continue; // dropped Sleep; skip without advancing time
+            }
+            debug_assert!(key.at >= self.core.now.get(), "time went backwards");
+            self.core.now.set(key.at);
+            self.core.timer_fires.set(self.core.timer_fires.get() + 1);
+            key.entry.fired.set(true);
+            if let Some(w) = key.entry.waker.borrow_mut().take() {
+                w.wake();
+            }
+            return true;
+        }
+    }
+
+    /// Peeks at the deadline of the earliest live timer.
+    fn next_deadline(&self) -> Option<SimTime> {
+        let mut timers = self.core.timers.borrow_mut();
+        while let Some(Reverse(key)) = timers.peek() {
+            if key.entry.cancelled.get() {
+                timers.pop();
+            } else {
+                return Some(key.at);
+            }
+        }
+        None
+    }
+
+    /// Runs until no task is runnable and no timer is pending
+    /// (quiescence).
+    pub fn run(&self) -> RunReport {
+        loop {
+            self.drain_ready();
+            if !self.fire_next_timer() {
+                break;
+            }
+        }
+        self.report()
+    }
+
+    /// Runs until quiescence or until the clock would pass `deadline`;
+    /// in the latter case the clock is left exactly at `deadline`.
+    pub fn run_until(&self, deadline: SimTime) -> RunReport {
+        loop {
+            self.drain_ready();
+            match self.next_deadline() {
+                Some(at) if at <= deadline => {
+                    self.fire_next_timer();
+                }
+                _ => break,
+            }
+        }
+        if self.core.now.get() < deadline {
+            self.core.now.set(deadline);
+        }
+        self.report()
+    }
+
+    /// Runs for `d` of virtual time from the current instant.
+    pub fn run_for(&self, d: Duration) -> RunReport {
+        self.run_until(self.now() + d)
+    }
+
+    /// Drives the simulation until `handle` completes, then returns its
+    /// output. Panics if the simulation goes quiescent first (the awaited
+    /// task would then never finish).
+    pub fn block_on<T: 'static>(&self, handle: JoinHandle<T>) -> T {
+        loop {
+            if let Some(v) = handle.try_take() {
+                return v;
+            }
+            self.drain_ready();
+            if let Some(v) = handle.try_take() {
+                return v;
+            }
+            if !self.fire_next_timer() {
+                panic!(
+                    "simulation quiescent at {} with awaited task incomplete \
+                     ({} tasks leaked)",
+                    self.now(),
+                    self.core.tasks.borrow().len()
+                );
+            }
+        }
+    }
+
+    fn report(&self) -> RunReport {
+        RunReport {
+            end: self.now(),
+            polls: self.core.polls.get(),
+            timer_fires: self.core.timer_fires.get(),
+            pending_tasks: self.core.tasks.borrow().len(),
+        }
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+}
+
+/// Handle to a spawned task's output.
+///
+/// Await it from another task, or pass it to [`Sim::block_on`] from
+/// outside the simulation.
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Takes the output if the task has finished.
+    pub fn try_take(&self) -> Option<T> {
+        self.state.borrow_mut().result.take()
+    }
+
+    /// True once the task has finished (and the output not yet taken).
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().result.is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut s = self.state.borrow_mut();
+        if let Some(v) = s.result.take() {
+            Poll::Ready(v)
+        } else {
+            s.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Future returned by [`Sim::sleep`] / [`Sim::sleep_until`].
+pub struct Sleep {
+    sim: Sim,
+    deadline: SimTime,
+    entry: Option<Rc<TimerEntry>>,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.deadline <= self.sim.now() {
+            return Poll::Ready(());
+        }
+        match &self.entry {
+            None => {
+                let entry = self.sim.register_timer(self.deadline);
+                *entry.waker.borrow_mut() = Some(cx.waker().clone());
+                self.entry = Some(entry);
+                Poll::Pending
+            }
+            Some(entry) => {
+                if entry.fired.get() {
+                    Poll::Ready(())
+                } else {
+                    *entry.waker.borrow_mut() = Some(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        // Lazily cancel so an abandoned sleep (e.g. the losing arm of a
+        // select) neither fires a stale waker nor advances the clock.
+        if let Some(entry) = &self.entry {
+            if !entry.fired.get() {
+                entry.cancelled.set(true);
+                entry.waker.borrow_mut().take();
+            }
+        }
+    }
+}
+
+/// Future returned by [`Sim::yield_now`].
+pub struct YieldNow {
+    sim: Sim,
+    polled: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let _ = &self.sim;
+        if self.polled {
+            Poll::Ready(())
+        } else {
+            self.polled = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::secs;
+    use std::cell::RefCell as StdRefCell;
+
+    #[test]
+    fn empty_sim_quiesces_at_zero() {
+        let sim = Sim::new();
+        let r = sim.run();
+        assert_eq!(r.end, SimTime::ZERO);
+        assert_eq!(r.pending_tasks, 0);
+    }
+
+    #[test]
+    fn sleep_advances_clock() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(secs(1.5)).await;
+            assert_eq!(s.now(), SimTime::from_millis(1500));
+        });
+        let r = sim.run();
+        assert_eq!(r.end, SimTime::from_millis(1500));
+        assert_eq!(r.pending_tasks, 0);
+    }
+
+    #[test]
+    fn sequential_sleeps_accumulate() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.sleep(secs(1.0)).await;
+            s.sleep(secs(2.0)).await;
+            s.now()
+        });
+        let end = sim.block_on(h);
+        assert_eq!(end, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn concurrent_tasks_interleave_by_time() {
+        let sim = Sim::new();
+        let log: Rc<StdRefCell<Vec<(&str, SimTime)>>> = Rc::default();
+        for (name, delay) in [("b", 2.0), ("a", 1.0), ("c", 3.0)] {
+            let s = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                s.sleep(secs(delay)).await;
+                log.borrow_mut().push((name, s.now()));
+            });
+        }
+        sim.run();
+        let log = log.borrow();
+        assert_eq!(
+            log.as_slice(),
+            &[
+                ("a", SimTime::from_secs(1)),
+                ("b", SimTime::from_secs(2)),
+                ("c", SimTime::from_secs(3))
+            ]
+        );
+    }
+
+    #[test]
+    fn same_deadline_fires_in_registration_order() {
+        let sim = Sim::new();
+        let log: Rc<StdRefCell<Vec<u32>>> = Rc::default();
+        for i in 0..5u32 {
+            let s = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                s.sleep(secs(1.0)).await;
+                log.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(log.borrow().as_slice(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_sleep_completes_immediately() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.sleep(Duration::ZERO).await;
+            s.now()
+        });
+        assert_eq!(sim.block_on(h), SimTime::ZERO);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.sleep(secs(1.0)).await;
+            42u32
+        });
+        assert_eq!(sim.block_on(h), 42);
+    }
+
+    #[test]
+    fn join_handle_awaitable_from_other_task() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let inner = sim.spawn(async move {
+            s.sleep(secs(2.0)).await;
+            7u32
+        });
+        let s2 = sim.clone();
+        let outer = sim.spawn(async move {
+            let v = inner.await;
+            (v, s2.now())
+        });
+        let (v, t) = sim.block_on(outer);
+        assert_eq!(v, 7);
+        assert_eq!(t, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn nested_spawn_runs() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            let s2 = s.clone();
+            let child = s.spawn(async move {
+                s2.sleep(secs(1.0)).await;
+                "child done"
+            });
+            child.await
+        });
+        assert_eq!(sim.block_on(h), "child done");
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let done = Rc::new(Cell::new(false));
+        let done2 = Rc::clone(&done);
+        sim.spawn(async move {
+            s.sleep(secs(10.0)).await;
+            done2.set(true);
+        });
+        let r = sim.run_until(SimTime::from_secs(5));
+        assert_eq!(r.end, SimTime::from_secs(5));
+        assert!(!done.get());
+        assert_eq!(r.pending_tasks, 1);
+        // Continue to completion.
+        let r = sim.run();
+        assert_eq!(r.end, SimTime::from_secs(10));
+        assert!(done.get());
+    }
+
+    #[test]
+    fn run_until_with_no_timers_jumps_clock() {
+        let sim = Sim::new();
+        let r = sim.run_until(SimTime::from_secs(9));
+        assert_eq!(r.end, SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn run_for_is_relative() {
+        let sim = Sim::new();
+        sim.run_for(secs(2.0));
+        sim.run_for(secs(3.0));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn yield_now_lets_peers_run_at_same_instant() {
+        let sim = Sim::new();
+        let log: Rc<StdRefCell<Vec<&str>>> = Rc::default();
+        let s = sim.clone();
+        let l1 = Rc::clone(&log);
+        sim.spawn(async move {
+            l1.borrow_mut().push("a1");
+            s.yield_now().await;
+            l1.borrow_mut().push("a2");
+        });
+        let l2 = Rc::clone(&log);
+        sim.spawn(async move {
+            l2.borrow_mut().push("b1");
+        });
+        let r = sim.run();
+        assert_eq!(log.borrow().as_slice(), &["a1", "b1", "a2"]);
+        assert_eq!(r.end, SimTime::ZERO);
+    }
+
+    #[test]
+    fn dropped_sleep_does_not_advance_clock() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move {
+            let long = s.sleep(secs(100.0));
+            drop(long); // e.g. losing select arm
+            s.sleep(secs(1.0)).await;
+        });
+        let r = sim.run();
+        assert_eq!(r.end, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn many_tasks_deterministic() {
+        let run = || {
+            let sim = Sim::new();
+            let acc: Rc<StdRefCell<Vec<u64>>> = Rc::default();
+            for i in 0..200u64 {
+                let s = sim.clone();
+                let acc = Rc::clone(&acc);
+                sim.spawn(async move {
+                    s.sleep(secs(((i * 37) % 17) as f64 * 0.1)).await;
+                    acc.borrow_mut().push(i);
+                });
+            }
+            sim.run();
+            let order = acc.borrow().clone();
+            order
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "quiescent")]
+    fn block_on_panics_on_deadlock() {
+        let sim = Sim::new();
+        // A task that waits on a JoinHandle that can never complete
+        // because nothing drives the inner future.
+        let (never, _keep) = {
+            let inner: JoinHandle<()> = JoinHandle {
+                state: Rc::new(RefCell::new(JoinState { result: None, waker: None })),
+            };
+            (inner, ())
+        };
+        let h = sim.spawn(never);
+        sim.block_on(h);
+    }
+
+    #[test]
+    fn report_counts_polls_and_timers() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move {
+            for _ in 0..3 {
+                s.sleep(secs(1.0)).await;
+            }
+        });
+        let r = sim.run();
+        assert_eq!(r.timer_fires, 3);
+        assert!(r.polls >= 4);
+    }
+}

@@ -1,0 +1,139 @@
+//! Structured trace of simulation activity.
+//!
+//! Actors append [`TraceEvent`]s to a shared [`Tracer`]; figure harnesses
+//! replay the trace to compute utilization series and latency breakdowns.
+//! Tracing is optional and cheap: a disabled tracer drops events.
+
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One trace record: what happened, where, when, and to which entity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// When the event occurred.
+    pub t: SimTime,
+    /// The emitting component, e.g. `"worker/theta/3"`.
+    pub actor: String,
+    /// Event kind, e.g. `"task_started"`.
+    pub kind: &'static str,
+    /// Entity id the event concerns (task id, transfer id, …).
+    pub entity: u64,
+    /// Optional numeric payload (bytes, durations in seconds, …).
+    pub value: f64,
+}
+
+#[derive(Default)]
+struct TracerState {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+/// Shared, clonable event sink.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    state: Rc<RefCell<TracerState>>,
+}
+
+impl Tracer {
+    /// Creates a tracer that records events.
+    pub fn enabled() -> Self {
+        let t = Tracer::default();
+        t.state.borrow_mut().enabled = true;
+        t
+    }
+
+    /// Creates a tracer that drops events.
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// True when events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.state.borrow().enabled
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn emit(&self, t: SimTime, actor: &str, kind: &'static str, entity: u64, value: f64) {
+        let mut s = self.state.borrow_mut();
+        if s.enabled {
+            s.events.push(TraceEvent { t, actor: actor.to_owned(), kind, entity, value });
+        }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.state.borrow().events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all events in emission order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.state.borrow().events.clone()
+    }
+
+    /// Snapshot filtered by event kind.
+    pub fn events_of_kind(&self, kind: &str) -> Vec<TraceEvent> {
+        self.state
+            .borrow()
+            .events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .cloned()
+            .collect()
+    }
+
+    /// Clears the recorded events.
+    pub fn clear(&self) {
+        self.state.borrow_mut().events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_drops() {
+        let t = Tracer::disabled();
+        t.emit(SimTime::ZERO, "a", "x", 1, 0.0);
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_tracer_records_in_order() {
+        let t = Tracer::enabled();
+        t.emit(SimTime::from_secs(1), "a", "start", 1, 0.0);
+        t.emit(SimTime::from_secs(2), "a", "stop", 1, 5.0);
+        let ev = t.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].kind, "start");
+        assert_eq!(ev[1].value, 5.0);
+    }
+
+    #[test]
+    fn filter_by_kind() {
+        let t = Tracer::enabled();
+        t.emit(SimTime::ZERO, "a", "start", 1, 0.0);
+        t.emit(SimTime::ZERO, "b", "stop", 1, 0.0);
+        t.emit(SimTime::ZERO, "c", "start", 2, 0.0);
+        assert_eq!(t.events_of_kind("start").len(), 2);
+        assert_eq!(t.events_of_kind("stop").len(), 1);
+        assert_eq!(t.events_of_kind("nope").len(), 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Tracer::enabled();
+        let t2 = t.clone();
+        t2.emit(SimTime::ZERO, "a", "x", 1, 0.0);
+        assert_eq!(t.len(), 1);
+        t.clear();
+        assert!(t2.is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! Whole-system determinism: bit-identical campaign outcomes for equal
+//! seeds, divergent outcomes for different seeds. This is what makes
+//! the figure regenerators reproducible.
+
+use hetflow::apps::{finetune, moldesign};
+use hetflow::prelude::*;
+use std::time::Duration;
+
+fn moldesign_fingerprint(seed: u64) -> (usize, usize, SimTime, Vec<(f64, usize)>) {
+    let sim = Sim::new();
+    let spec = DeploymentSpec { cpu_workers: 4, gpu_workers: 4, seed, ..Default::default() };
+    let d = deploy(&sim, WorkflowConfig::FnXGlobus, &spec, Tracer::disabled());
+    let o = moldesign::run(
+        &sim,
+        &d,
+        MolDesignParams {
+            library_size: 2_000,
+            budget: Duration::from_secs(3600),
+            ensemble_size: 2,
+            retrain_after: 8,
+            seed,
+            ..Default::default()
+        },
+    );
+    (o.found, o.simulations, o.end, o.found_curve)
+}
+
+#[test]
+fn moldesign_bit_reproducible() {
+    assert_eq!(moldesign_fingerprint(42), moldesign_fingerprint(42));
+}
+
+#[test]
+fn moldesign_seeds_diverge() {
+    let a = moldesign_fingerprint(42);
+    let b = moldesign_fingerprint(43);
+    assert_ne!(a.2, b.2, "different seeds should end at different virtual times");
+}
+
+#[test]
+fn finetune_bit_reproducible() {
+    let go = || {
+        let sim = Sim::new();
+        let spec = DeploymentSpec { cpu_workers: 4, gpu_workers: 4, seed: 9, ..Default::default() };
+        let d = deploy(&sim, WorkflowConfig::ParslRedis, &spec, Tracer::disabled());
+        let o = finetune::run(
+            &sim,
+            &d,
+            FinetuneParams {
+                pretrain_structures: 50,
+                target_new: 8,
+                retrain_every: 4,
+                ensemble_size: 2,
+                md_steps_end: 100,
+                ..Default::default()
+            },
+        );
+        (o.new_structures, o.training_rounds, o.end, o.final_force_rmsd.to_bits())
+    };
+    assert_eq!(go(), go());
+}
+
+#[test]
+fn record_timings_reproducible_across_runs() {
+    let lifetimes = || {
+        let sim = Sim::new();
+        let spec = DeploymentSpec { seed: 5, ..Default::default() };
+        let d = deploy(&sim, WorkflowConfig::FnXGlobus, &spec, Tracer::disabled());
+        let q = d.queues.clone();
+        let h = sim.spawn(async move {
+            for i in 0..20u32 {
+                q.submit(
+                    "simulate",
+                    vec![Payload::new(i, 1_000_000)],
+                    std::rc::Rc::new(|_| TaskWork::new((), 1000, Duration::from_secs(60))),
+                )
+                .await;
+            }
+            let mut out = Vec::new();
+            for _ in 0..20 {
+                let r = q.get_result("simulate").await.unwrap().resolve().await;
+                out.push(r.record.timing.lifetime().unwrap());
+            }
+            out
+        });
+        sim.block_on(h)
+    };
+    assert_eq!(lifetimes(), lifetimes());
+}

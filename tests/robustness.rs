@@ -1,0 +1,170 @@
+//! Robustness tests for §IV-A3: "both FuncX and Globus's services
+//! accept and store tasks (and results) even while remote endpoints (or
+//! clients) are unavailable so tasks can be resumed when endpoints
+//! reconnect" — plus worker-level failure injection.
+
+use hetflow::fabric::{Connectivity, FailureModel};
+use hetflow::prelude::*;
+use hetflow::sim::Dist;
+use std::rc::Rc;
+use std::time::Duration;
+
+#[test]
+fn cloud_buffers_tasks_through_endpoint_outage() {
+    let sim = Sim::new();
+    let cpu_conn = Connectivity::scheduled(
+        &sim,
+        // Offline from t=10 s to t=310 s.
+        vec![(SimTime::from_secs(10), Duration::from_secs(300))],
+    );
+    let spec = DeploymentSpec {
+        cpu_workers: 2,
+        gpu_workers: 2,
+        cpu_connectivity: cpu_conn.clone(),
+        ..Default::default()
+    };
+    let d = deploy(&sim, WorkflowConfig::FnXGlobus, &spec, Tracer::disabled());
+    let q = d.queues.clone();
+    let s = sim.clone();
+    let h = sim.spawn(async move {
+        // Wait until mid-outage, then submit.
+        s.sleep(hetflow::sim::time::secs(60.0)).await;
+        for i in 0..4u32 {
+            q.submit(
+                "simulate",
+                vec![Payload::new(i, 1000)],
+                Rc::new(|_| TaskWork::new((), 100, Duration::from_secs(5))),
+            )
+            .await;
+        }
+        let mut done = 0;
+        for _ in 0..4 {
+            let r = q.get_result("simulate").await.unwrap().resolve().await;
+            assert!(
+                r.record.timing.worker_started.unwrap() >= SimTime::from_secs(310),
+                "task must only start after reconnection"
+            );
+            done += 1;
+        }
+        done
+    });
+    assert_eq!(sim.block_on(h), 4, "all tasks survive the outage");
+    assert_eq!(cpu_conn.outages_seen(), 1);
+}
+
+#[test]
+fn results_buffer_while_endpoint_offline() {
+    // Tasks complete on the workers during the outage (they were
+    // delivered before it began); results reach the thinker only after
+    // reconnect.
+    let sim = Sim::new();
+    let conn = Connectivity::scheduled(
+        &sim,
+        // Outage starts after delivery (~2 s), ends at 200 s.
+        vec![(SimTime::from_secs(3), Duration::from_secs(197))],
+    );
+    let spec = DeploymentSpec {
+        cpu_workers: 2,
+        gpu_workers: 1,
+        cpu_connectivity: conn,
+        ..Default::default()
+    };
+    let d = deploy(&sim, WorkflowConfig::FnXGlobus, &spec, Tracer::disabled());
+    let q = d.queues.clone();
+    let h = sim.spawn(async move {
+        q.submit(
+            "simulate",
+            vec![Payload::new((), 1000)],
+            Rc::new(|_| TaskWork::new((), 100, Duration::from_secs(30))),
+        )
+        .await;
+        let r = q.get_result("simulate").await.unwrap().resolve().await;
+        (
+            r.record.timing.compute_finished.unwrap(),
+            r.record.timing.thinker_notified.unwrap(),
+        )
+    });
+    let (finished, notified) = sim.block_on(h);
+    assert!(
+        finished < SimTime::from_secs(60),
+        "compute proceeds during the outage: {finished}"
+    );
+    assert!(
+        notified >= SimTime::from_secs(200),
+        "result held at the endpoint until reconnect: {notified}"
+    );
+}
+
+#[test]
+fn worker_failures_are_retried_and_campaign_completes() {
+    let sim = Sim::new();
+    let spec = DeploymentSpec {
+        cpu_workers: 4,
+        gpu_workers: 4,
+        failure: Some(FailureModel {
+            prob: 0.2,
+            waste_fraction: 0.5,
+            restart_delay: Dist::Constant(2.0),
+            max_attempts: 10,
+        }),
+        ..Default::default()
+    };
+    let d = deploy(&sim, WorkflowConfig::ParslRedis, &spec, Tracer::disabled());
+    let q = d.queues.clone();
+    let h = sim.spawn(async move {
+        for i in 0..40u32 {
+            q.submit(
+                "simulate",
+                vec![Payload::new(i, 1000)],
+                Rc::new(|_| TaskWork::new((), 100, Duration::from_secs(60))),
+            )
+            .await;
+        }
+        let mut retried = 0u32;
+        for _ in 0..40 {
+            let r = q.get_result("simulate").await.unwrap().resolve().await;
+            assert!(r.record.report.attempts >= 1);
+            if r.record.report.attempts > 1 {
+                retried += 1;
+            }
+        }
+        retried
+    });
+    let retried = sim.block_on(h);
+    // With p=0.2 over 40 tasks, some retries are near-certain.
+    assert!(retried > 0, "failure injection must trigger retries");
+    assert!(retried < 40, "not every task should fail");
+}
+
+#[test]
+fn failed_attempts_extend_task_lifetimes() {
+    let lifetime_with = |failure: Option<FailureModel>| {
+        let sim = Sim::new();
+        let spec = DeploymentSpec { cpu_workers: 1, gpu_workers: 1, failure, ..Default::default() };
+        let d = deploy(&sim, WorkflowConfig::Parsl, &spec, Tracer::disabled());
+        let q = d.queues.clone();
+        let h = sim.spawn(async move {
+            let mut total = Duration::ZERO;
+            for i in 0..10u32 {
+                q.submit(
+                    "simulate",
+                    vec![Payload::new(i, 1000)],
+                    Rc::new(|_| TaskWork::new((), 100, Duration::from_secs(60))),
+                )
+                .await;
+                let r = q.get_result("simulate").await.unwrap().resolve().await;
+                total += r.record.timing.lifetime().unwrap();
+            }
+            total
+        });
+        sim.block_on(h)
+    };
+    let reliable = lifetime_with(None);
+    let flaky = lifetime_with(Some(FailureModel {
+        prob: 0.5,
+        waste_fraction: 1.0,
+        restart_delay: Dist::Constant(5.0),
+        max_attempts: 20,
+    }));
+    assert!(flaky > reliable + Duration::from_secs(10), "{flaky:?} vs {reliable:?}");
+}
