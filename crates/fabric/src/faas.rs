@@ -18,7 +18,7 @@ use crate::task::{TaskResult, TaskSpec};
 use crate::worker::{WorkerPool, WorkerPoolConfig};
 use hetflow_sim::{channel, Dist, Sender, Sim, SimRng, Tracer};
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -98,7 +98,7 @@ struct Inner {
     sim: Sim,
     params: FnXParams,
     rng: RefCell<SimRng>,
-    route: HashMap<String, usize>,
+    route: BTreeMap<String, usize>,
     pools: Vec<WorkerPool>,
     connectivity: Vec<crate::reliability::Connectivity>,
     results: Sender<TaskResult>,
@@ -124,7 +124,7 @@ impl FnXExecutor {
         rng: SimRng,
         tracer: Tracer,
     ) -> FnXExecutor {
-        let mut route = HashMap::new();
+        let mut route = BTreeMap::new();
         let mut pools = Vec::new();
         let mut connectivity = Vec::new();
         let mut pool_streams = Vec::new();

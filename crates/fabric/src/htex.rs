@@ -19,7 +19,7 @@ use crate::task::{TaskResult, TaskSpec};
 use crate::worker::{WorkerPool, WorkerPoolConfig};
 use hetflow_sim::{channel, Dist, Sender, Sim, SimRng, Tracer};
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -78,7 +78,7 @@ struct Inner {
     sim: Sim,
     params: HtexParams,
     rng: RefCell<SimRng>,
-    route: HashMap<String, usize>,
+    route: BTreeMap<String, usize>,
     pools: Vec<WorkerPool>,
     links: Vec<LinkParams>,
     results: Sender<TaskResult>,
@@ -103,7 +103,7 @@ impl HtexExecutor {
         rng: SimRng,
         tracer: Tracer,
     ) -> HtexExecutor {
-        let mut route = HashMap::new();
+        let mut route = BTreeMap::new();
         let mut pools = Vec::new();
         let mut links = Vec::new();
         let mut pool_streams = Vec::new();

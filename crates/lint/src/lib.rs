@@ -1,0 +1,420 @@
+//! hetlint: the hetflow determinism & invariant static-analysis pass.
+//!
+//! The repo's central validity claim is bit-reproducibility: the same
+//! seed must yield the same trace on any machine. That property is easy
+//! to break with one stray wall-clock read or hash-order iteration, and
+//! such regressions are invisible until an expensive campaign diverges.
+//! hetlint walks every Rust source in the workspace and enforces the
+//! determinism contract as machine-checked rules:
+//!
+//! - **R1** no `std::time::{Instant, SystemTime}` / `thread::sleep` in
+//!   sim-driven crates — virtual time only.
+//! - **R2** no ambient entropy (`thread_rng`, `from_entropy`, `OsRng`)
+//!   outside `sim::rng` — named seeded streams only.
+//! - **R3** no order-leaking iteration over `HashMap`/`HashSet` in
+//!   sim-driven crates — keyed lookup is fine, iteration is not.
+//! - **R4** no OS-thread spawns outside `ml` — whose scoped,
+//!   member-seeded fan-out is the sanctioned escape hatch.
+//! - **R5** an `unwrap()`/`expect()` budget per library crate —
+//!   a ratchet that may go down but not up.
+//! - **R6** float ordering must be total — `f64::total_cmp` or an
+//!   `Ord`-delegating wrapper, never ad-hoc `.partial_cmp().unwrap()`.
+//!
+//! Violations are suppressed in place with
+//! `// hetlint: allow(<rule>) — <reason>`; the reason is mandatory and
+//! every suppression is counted in the report.
+
+pub mod rules;
+pub mod scan;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates whose behavior feeds the simulation trace. The root package
+/// (`hetflow`) re-exports and drives them, so it is held to the same
+/// contract.
+pub const SIM_DRIVEN: &[&str] = &["sim", "store", "fabric", "steer", "core", "apps", "hetflow"];
+
+/// Per-library-crate `unwrap()`/`expect()` budgets (rule R5).
+///
+/// This is a ratchet: numbers may be lowered as call sites are converted
+/// to `Result` plumbing, but raising one requires a design discussion.
+/// Counts cover only pre-`#[cfg(test)]` library code; annotated lines
+/// (`hetlint: allow(r5)`) are excluded from the count.
+pub const UNWRAP_BUDGETS: &[(&str, usize)] = &[
+    ("sim", 5),
+    ("store", 1),
+    ("fabric", 0),
+    ("steer", 4),
+    ("chem", 2),
+    ("ml", 3),
+    ("core", 0),
+    ("apps", 3),
+    ("bench", 6),
+    ("hetflow", 0),
+    ("lint", 0),
+];
+
+/// The rule that produced a violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Wall-clock time in a sim-driven crate.
+    R1,
+    /// Ambient entropy outside `sim::rng`.
+    R2,
+    /// Order-leaking hash-container iteration.
+    R3,
+    /// OS-thread spawn outside `ml`.
+    R4,
+    /// Unwrap budget exceeded.
+    R5,
+    /// Non-total float ordering.
+    R6,
+    /// Malformed suppression (missing reason).
+    BadAllow,
+}
+
+impl RuleId {
+    /// The canonical lowercase key used in `allow(..)` annotations.
+    pub fn key(self) -> &'static str {
+        match self {
+            RuleId::R1 => "r1",
+            RuleId::R2 => "r2",
+            RuleId::R3 => "r3",
+            RuleId::R4 => "r4",
+            RuleId::R5 => "r5",
+            RuleId::R6 => "r6",
+            RuleId::BadAllow => "bad-allow",
+        }
+    }
+
+    /// A one-line description for report headers.
+    pub fn title(self) -> &'static str {
+        match self {
+            RuleId::R1 => "R1 virtual-time: no wall clock in sim-driven crates",
+            RuleId::R2 => "R2 seeded-rng: no ambient entropy outside sim::rng",
+            RuleId::R3 => "R3 hash-order: no HashMap/HashSet iteration in sim-driven crates",
+            RuleId::R4 => "R4 threads: no OS-thread spawn outside ml",
+            RuleId::R5 => "R5 unwrap-budget: unwrap()/expect() ratchet per library crate",
+            RuleId::R6 => "R6 total-order: float ordering must be total",
+            RuleId::BadAllow => "suppressions must carry a reason",
+        }
+    }
+}
+
+/// What part of a crate a file belongs to; drives which rules apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/` library (and `src/bin/`) code — all rules, R5 included.
+    LibSrc,
+    /// Integration tests under `tests/`.
+    Test,
+    /// Benches under `benches/`.
+    Bench,
+    /// Examples under `examples/`.
+    Example,
+}
+
+/// Where a file sits in the workspace, for rule applicability.
+#[derive(Clone, Debug)]
+pub struct FileContext {
+    /// Short crate name (`sim`, `store`, …; the root package is
+    /// `hetflow`).
+    pub crate_name: String,
+    /// Section of the crate the file lives in.
+    pub kind: FileKind,
+    /// Workspace-relative path, for reporting.
+    pub rel_path: String,
+}
+
+impl FileContext {
+    /// Builds a context directly (used by fixture tests).
+    pub fn new(crate_name: &str, kind: FileKind, rel_path: &str) -> FileContext {
+        FileContext {
+            crate_name: crate_name.to_string(),
+            kind,
+            rel_path: rel_path.to_string(),
+        }
+    }
+
+    /// True when the file's crate must obey the virtual-time and
+    /// hash-order rules.
+    pub fn sim_driven(&self) -> bool {
+        SIM_DRIVEN.contains(&self.crate_name.as_str())
+    }
+
+    /// True for the one module allowed to touch raw seed material.
+    pub fn is_rng_module(&self) -> bool {
+        self.rel_path.ends_with("crates/sim/src/rng.rs") || self.rel_path == "src/rng.rs"
+    }
+}
+
+/// A single rule hit, before suppression filtering.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+    /// The annotation covering this hit, when one exists.
+    pub suppression: Option<scan::Suppression>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule.key(), self.message)
+    }
+}
+
+/// The outcome of linting one source text (unit of fixture testing).
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Rule hits that no annotation covers.
+    pub violations: Vec<Violation>,
+    /// Rule hits covered by a reasoned `allow(..)`.
+    pub suppressed: Vec<Violation>,
+    /// Suppressions with an empty reason (each is itself a violation).
+    pub bad_allows: Vec<Violation>,
+    /// Lines of pre-test `unwrap()`/`expect(` sites (R5 raw material).
+    pub unwrap_sites: Vec<usize>,
+}
+
+/// Lints one source text under the given context. This is the pure core
+/// used both by the workspace walk and by fixture tests.
+pub fn lint_source(ctx: &FileContext, source: &str) -> FileReport {
+    let prepared = scan::prepare(source);
+    let mut report = FileReport::default();
+    for v in rules::check_file(ctx, &prepared) {
+        match &v.suppression {
+            Some(s) if !s.reason.is_empty() => report.suppressed.push(v),
+            Some(s) => {
+                let line = s.line;
+                report.bad_allows.push(Violation {
+                    rule: RuleId::BadAllow,
+                    path: ctx.rel_path.clone(),
+                    line,
+                    message: format!(
+                        "allow({}) without a reason; write `hetlint: allow({}) — <why>`",
+                        v.rule.key(),
+                        v.rule.key()
+                    ),
+                    suppression: None,
+                });
+                report.suppressed.push(v);
+            }
+            None => report.violations.push(v),
+        }
+    }
+    // Reason-less suppressions are flagged even when nothing fired under
+    // them — a stale or typo'd allow must not linger silently.
+    for s in &prepared.suppressions {
+        if s.reason.is_empty() && !report.bad_allows.iter().any(|b| b.line == s.line) {
+            report.bad_allows.push(Violation {
+                rule: RuleId::BadAllow,
+                path: ctx.rel_path.clone(),
+                line: s.line,
+                message: format!(
+                    "allow({}) without a reason; write `hetlint: allow({}) — <why>`",
+                    s.rule, s.rule
+                ),
+                suppression: None,
+            });
+        }
+    }
+    report.unwrap_sites = rules::count_unwraps(ctx, &prepared);
+    report
+}
+
+/// Aggregate result of a workspace walk.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed violations, in path order.
+    pub violations: Vec<Violation>,
+    /// Suppressed hits (reasoned allows), for the summary line.
+    pub suppressed: Vec<Violation>,
+    /// Reason-less allows.
+    pub bad_allows: Vec<Violation>,
+    /// Per-crate `(crate, count, budget)` rows for R5.
+    pub unwrap_rows: Vec<(String, usize, usize)>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the workspace passes the determinism contract.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+            && self.bad_allows.is_empty()
+            && self.unwrap_rows.iter().all(|(_, count, budget)| count <= budget)
+    }
+}
+
+/// Classifies a workspace-relative path into a [`FileContext`]; `None`
+/// for files hetlint does not police (vendored stand-ins, the lint
+/// fixtures themselves, build scripts of foreign origin).
+pub fn classify(rel: &str) -> Option<FileContext> {
+    let rel = rel.replace('\\', "/");
+    if rel.starts_with("vendor/") || rel.starts_with("target/") || rel.starts_with(".git/") {
+        return None;
+    }
+    if rel.starts_with("crates/lint/tests/fixtures/") {
+        return None;
+    }
+    let (crate_name, rest) = if let Some(tail) = rel.strip_prefix("crates/") {
+        let (name, rest) = tail.split_once('/')?;
+        let name = name.strip_prefix("hetflow-").unwrap_or(name);
+        (name.to_string(), rest)
+    } else {
+        ("hetflow".to_string(), rel.as_str())
+    };
+    let kind = if rest.starts_with("src/") {
+        FileKind::LibSrc
+    } else if rest.starts_with("tests/") {
+        FileKind::Test
+    } else if rest.starts_with("benches/") {
+        FileKind::Bench
+    } else if rest.starts_with("examples/") {
+        FileKind::Example
+    } else {
+        return None;
+    };
+    Some(FileContext { crate_name, kind, rel_path: rel })
+}
+
+/// Recursively collects `.rs` files under `root`, skipping build output,
+/// vendored crates, and the lint fixtures.
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut found = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if matches!(name, "target" | "vendor" | ".git" | "fixtures" | "node_modules") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                found.push(path);
+            }
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// Walks the workspace at `root` and lints every classified source file.
+pub fn run(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    let mut unwraps: Vec<(String, usize)> = Vec::new();
+    for path in collect_sources(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(ctx) = classify(&rel) else { continue };
+        let source = std::fs::read_to_string(&path)?;
+        report.files_scanned += 1;
+        let file = lint_source(&ctx, &source);
+        report.violations.extend(file.violations);
+        report.suppressed.extend(file.suppressed);
+        report.bad_allows.extend(file.bad_allows);
+        if !file.unwrap_sites.is_empty() {
+            match unwraps.iter_mut().find(|(name, _)| *name == ctx.crate_name) {
+                Some((_, n)) => *n += file.unwrap_sites.len(),
+                None => unwraps.push((ctx.crate_name.clone(), file.unwrap_sites.len())),
+            }
+        }
+    }
+    unwraps.sort();
+    for (name, count) in unwraps {
+        let budget = UNWRAP_BUDGETS
+            .iter()
+            .find(|(b, _)| *b == name)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        report.unwrap_rows.push((name, count, budget));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_crate_src() {
+        let ctx = classify("crates/sim/src/executor.rs").unwrap();
+        assert_eq!(ctx.crate_name, "sim");
+        assert_eq!(ctx.kind, FileKind::LibSrc);
+        assert!(ctx.sim_driven());
+    }
+
+    #[test]
+    fn classify_root_tests_as_hetflow() {
+        let ctx = classify("tests/determinism.rs").unwrap();
+        assert_eq!(ctx.crate_name, "hetflow");
+        assert_eq!(ctx.kind, FileKind::Test);
+        assert!(ctx.sim_driven());
+    }
+
+    #[test]
+    fn classify_skips_vendor_and_fixtures() {
+        assert!(classify("vendor/proptest/src/lib.rs").is_none());
+        assert!(classify("crates/lint/tests/fixtures/bad_r1.rs").is_none());
+    }
+
+    #[test]
+    fn rng_module_is_exempt_from_r2() {
+        let ctx = classify("crates/sim/src/rng.rs").unwrap();
+        assert!(ctx.is_rng_module());
+        let report = lint_source(&ctx, "let x = OsRng;\n");
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn ml_crate_not_sim_driven_but_r2_applies() {
+        let ctx = classify("crates/ml/src/ensemble.rs").unwrap();
+        assert!(!ctx.sim_driven());
+        let report = lint_source(&ctx, "let r = thread_rng();\n");
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, RuleId::R2);
+    }
+
+    #[test]
+    fn reasoned_allow_suppresses_and_is_counted() {
+        let ctx = classify("crates/steer/src/policy.rs").unwrap();
+        let src = "use std::time::Instant; // hetlint: allow(r1) — doc example only\n";
+        let report = lint_source(&ctx, src);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.suppressed.len(), 1);
+        assert!(report.bad_allows.is_empty());
+    }
+
+    #[test]
+    fn reasonless_allow_is_flagged() {
+        let ctx = classify("crates/steer/src/policy.rs").unwrap();
+        let src = "use std::time::Instant; // hetlint: allow(r1)\n";
+        let report = lint_source(&ctx, src);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.bad_allows.len(), 1);
+        assert_eq!(report.bad_allows[0].rule, RuleId::BadAllow);
+    }
+
+    #[test]
+    fn unwrap_sites_stop_at_test_module() {
+        let ctx = classify("crates/store/src/store.rs").unwrap();
+        let src = "fn f() { x.unwrap(); y.expect(\"msg\"); }\n#[cfg(test)]\nmod tests { fn g() { z.unwrap(); } }\n";
+        let report = lint_source(&ctx, src);
+        assert_eq!(report.unwrap_sites.len(), 2);
+    }
+}

@@ -1,0 +1,85 @@
+//! hetlint CLI: `cargo run -p hetflow-lint [-- <workspace-root>]`.
+//!
+//! Walks the workspace sources, prints violations grouped by rule, and
+//! exits non-zero when the determinism contract is broken. See
+//! DESIGN.md "Determinism rules" for the rule catalogue and the
+//! `hetlint: allow(<rule>) — <reason>` suppression syntax.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hetflow_lint::{Report, RuleId};
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let report = match hetflow_lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            println!("hetlint: failed to walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    print_report(&report);
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_report(report: &Report) {
+    let rules = [
+        RuleId::R1,
+        RuleId::R2,
+        RuleId::R3,
+        RuleId::R4,
+        RuleId::R6,
+        RuleId::BadAllow,
+    ];
+    for rule in rules {
+        let hits: Vec<_> = report
+            .violations
+            .iter()
+            .chain(&report.bad_allows)
+            .filter(|v| v.rule == rule)
+            .collect();
+        if hits.is_empty() {
+            continue;
+        }
+        println!("{}", rule.title());
+        for v in hits {
+            println!("  {v}");
+        }
+    }
+    if !report.unwrap_rows.is_empty() {
+        println!("{}", RuleId::R5.title());
+        for (name, count, budget) in &report.unwrap_rows {
+            if count > budget {
+                println!(
+                    "  crate `{name}`: {count}/{budget} OVER BUDGET; convert to Result \
+                     plumbing or annotate with `hetlint: allow(r5) — <why>`"
+                );
+            } else {
+                println!("  crate `{name}`: {count}/{budget}");
+            }
+        }
+    }
+    println!(
+        "hetlint: {} files, {} violations, {} suppressed (reasoned), {} bad allows",
+        report.files_scanned,
+        report.violations.len()
+            + report
+                .unwrap_rows
+                .iter()
+                .filter(|(_, c, b)| c > b)
+                .count(),
+        report.suppressed.len(),
+        report.bad_allows.len()
+    );
+    if report.clean() {
+        println!("hetlint: determinism contract holds");
+    }
+}

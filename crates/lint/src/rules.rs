@@ -1,0 +1,418 @@
+//! The hetlint rule set (R1–R6).
+//!
+//! Every rule enforces one clause of the determinism contract
+//! (DESIGN.md "Determinism rules"). Rules operate on the stripped code
+//! view produced by [`crate::scan`], so comments and string literals can
+//! never trigger them. Each detection is line-anchored, which is what
+//! lets `// hetlint: allow(<rule>) — <reason>` annotations suppress a
+//! specific occurrence.
+
+use crate::scan::Prepared;
+use crate::{FileContext, FileKind, RuleId, Violation};
+
+/// Runs every applicable rule over one prepared file.
+pub fn check_file(ctx: &FileContext, prepared: &Prepared) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if ctx.sim_driven() {
+        r1_virtual_time(ctx, prepared, &mut out);
+        r3_hash_iteration(ctx, prepared, &mut out);
+    }
+    if !ctx.is_rng_module() {
+        r2_entropy(ctx, prepared, &mut out);
+    }
+    if ctx.crate_name != "ml" {
+        r4_thread_spawn(ctx, prepared, &mut out);
+    }
+    r6_float_order(ctx, prepared, &mut out);
+    out
+}
+
+/// Counts `.unwrap()` / `.expect(` sites in library code (R5 inputs).
+///
+/// Only lines before the file's `#[cfg(test)]` marker count — the
+/// convention in this workspace is a single trailing test module per
+/// file — and lines carrying an `allow(r5)` suppression are excluded.
+pub fn count_unwraps(ctx: &FileContext, prepared: &Prepared) -> Vec<usize> {
+    if ctx.kind != FileKind::LibSrc {
+        return Vec::new();
+    }
+    let mut sites = Vec::new();
+    for (idx, line) in prepared.lines.iter().enumerate() {
+        let line_no = idx + 1;
+        if line.code.contains("#[cfg(test)]") {
+            break;
+        }
+        if crate::scan::is_suppressed(prepared, "r5", line_no) {
+            continue;
+        }
+        let hits = line.code.matches(".unwrap()").count() + line.code.matches(".expect(").count();
+        for _ in 0..hits {
+            sites.push(line_no);
+        }
+    }
+    sites
+}
+
+fn push(
+    out: &mut Vec<Violation>,
+    ctx: &FileContext,
+    prepared: &Prepared,
+    rule: RuleId,
+    line_no: usize,
+    message: String,
+) {
+    let suppressed = crate::scan::find_suppression(prepared, rule.key(), line_no).cloned();
+    out.push(Violation {
+        rule,
+        path: ctx.rel_path.clone(),
+        line: line_no,
+        message,
+        suppression: suppressed,
+    });
+}
+
+/// True when `code` contains `needle` as a standalone identifier (not a
+/// substring of a longer identifier).
+fn has_ident(code: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = !code[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = after;
+    }
+    false
+}
+
+/// R1 — wall-clock and real sleeps are banned in sim-driven crates:
+/// virtual time (`Sim::now`, `Sim::sleep`) is the only clock.
+fn r1_virtual_time(ctx: &FileContext, prepared: &Prepared, out: &mut Vec<Violation>) {
+    for (idx, line) in prepared.lines.iter().enumerate() {
+        let code = &line.code;
+        for (needle, what) in [
+            ("Instant", "std::time::Instant"),
+            ("SystemTime", "std::time::SystemTime"),
+        ] {
+            if has_ident(code, needle) {
+                push(
+                    out,
+                    ctx,
+                    prepared,
+                    RuleId::R1,
+                    idx + 1,
+                    format!("{what} in a sim-driven crate; use Sim::now() virtual time"),
+                );
+            }
+        }
+        if code.contains("thread::sleep") {
+            push(
+                out,
+                ctx,
+                prepared,
+                RuleId::R1,
+                idx + 1,
+                "std::thread::sleep in a sim-driven crate; use Sim::sleep virtual time".into(),
+            );
+        }
+    }
+}
+
+/// R2 — ambient entropy is banned everywhere outside `sim::rng`: all
+/// randomness flows through named seeded streams.
+fn r2_entropy(ctx: &FileContext, prepared: &Prepared, out: &mut Vec<Violation>) {
+    for (idx, line) in prepared.lines.iter().enumerate() {
+        let code = &line.code;
+        for (needle, what) in [
+            ("thread_rng", "thread_rng()"),
+            ("from_entropy", "SeedableRng::from_entropy"),
+            ("OsRng", "OsRng"),
+        ] {
+            if has_ident(code, needle) {
+                push(
+                    out,
+                    ctx,
+                    prepared,
+                    RuleId::R2,
+                    idx + 1,
+                    format!("{what} outside sim::rng; derive a named stream via SimRng::stream"),
+                );
+            }
+        }
+    }
+}
+
+/// Iteration methods whose order reflects hash state.
+const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+];
+
+/// R3 — iterating a `HashMap`/`HashSet` leaks memory-layout order into
+/// event order in sim-driven crates. Keyed lookup (`get`, `insert`,
+/// `contains_key`, …) is fine; iteration must go through `BTreeMap`/
+/// `BTreeSet` or explicit sorting.
+fn r3_hash_iteration(ctx: &FileContext, prepared: &Prepared, out: &mut Vec<Violation>) {
+    // Pass 1: names declared with a hash-container type anywhere in the
+    // file: `name: …HashMap<…` field/param declarations and
+    // `let name = HashMap::new()` style bindings.
+    let mut hash_names: Vec<String> = Vec::new();
+    for line in &prepared.lines {
+        let code = &line.code;
+        for marker in ["HashMap", "HashSet"] {
+            let mut start = 0;
+            while let Some(pos) = code[start..].find(marker) {
+                let at = start + pos;
+                start = at + marker.len();
+                // Require a type/constructor position: `HashMap<` or
+                // `HashMap::`; a bare mention (e.g. an ident suffix) is
+                // skipped by the has_ident-style boundary check.
+                let after = &code[at + marker.len()..];
+                if !(after.starts_with('<') || after.starts_with("::")) {
+                    continue;
+                }
+                let before_ok = at == 0
+                    || !code[..at]
+                        .chars()
+                        .next_back()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+                if !before_ok {
+                    continue;
+                }
+                if let Some(name) = declared_name(&code[..at]) {
+                    if !hash_names.contains(&name) {
+                        hash_names.push(name);
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 2: flag order-leaking use of those names. Chained calls are
+    // often wrapped, so each line is matched together with its successor.
+    for (idx, line) in prepared.lines.iter().enumerate() {
+        let joined = match prepared.lines.get(idx + 1) {
+            Some(next) => format!("{}\n{}", line.code, next.code),
+            None => line.code.clone(),
+        };
+        for name in &hash_names {
+            let Some(name_pos) = find_ident(&joined, name) else {
+                continue;
+            };
+            // The violation anchors on the line holding the iteration
+            // token; only report from the line where the name appears to
+            // avoid double-counting via the previous window.
+            if name_pos >= line.code.len() {
+                continue;
+            }
+            let tail = &joined[name_pos + name.len()..];
+            for method in ITER_METHODS {
+                if let Some(mpos) = tail.find(method) {
+                    // The method must belong to the same expression
+                    // chain: only accessor/borrow hops in between.
+                    if !is_chain(&tail[..mpos]) {
+                        continue;
+                    }
+                    let line_no = idx + 1;
+                    push(
+                        out,
+                        ctx,
+                        prepared,
+                        RuleId::R3,
+                        line_no,
+                        format!(
+                            "`{name}` is a HashMap/HashSet and `{method}` leaks hash order; \
+                             use BTreeMap/BTreeSet or sort explicitly"
+                        ),
+                    );
+                    break;
+                }
+            }
+            // `for x in &name` / `for x in name` — direct iteration.
+            let trimmed = joined.trim_start();
+            if trimmed.starts_with("for ") {
+                if let Some(in_pos) = joined.find(" in ") {
+                    let target = joined[in_pos + 4..].trim_start().trim_start_matches('&');
+                    let target_ident: String = target
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    if &target_ident == name && name_pos > in_pos {
+                        push(
+                            out,
+                            ctx,
+                            prepared,
+                            RuleId::R3,
+                            idx + 1,
+                            format!(
+                                "`for … in {name}` iterates a HashMap/HashSet in hash order; \
+                                 use BTreeMap/BTreeSet or sort explicitly"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Finds `needle` as a standalone identifier, returning its offset.
+fn find_ident(code: &str, needle: &str) -> Option<usize> {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = !code[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = after;
+    }
+    None
+}
+
+/// True when the text between a name and a method call is only chain
+/// hops: `.borrow()`, `.borrow_mut()`, `.as_ref()`, `.lock()`, `?`,
+/// closing parens, or whitespace/newlines.
+fn is_chain(between: &str) -> bool {
+    let cleaned = between
+        .replace(".borrow_mut()", "")
+        .replace(".borrow()", "")
+        .replace(".as_ref()", "")
+        .replace(".as_mut()", "")
+        .replace(".clone()", "")
+        .replace(".lock()", "");
+    cleaned
+        .chars()
+        .all(|c| c.is_whitespace() || c == ')' || c == '?' || c == '&' || c == '*')
+}
+
+/// Extracts the declared identifier from text preceding a hash type:
+/// `… name: ` (field/param/binding annotation) or `let [mut] name = `.
+fn declared_name(before: &str) -> Option<String> {
+    let trimmed = before.trim_end();
+    // `let map = HashMap::new()` / `let mut map = HashMap::new()`.
+    if let Some(eq_stripped) = trimmed.strip_suffix('=') {
+        let lhs = eq_stripped.trim_end();
+        let name = trailing_ident(lhs)?;
+        // Only simple `let` bindings — assignments to fields keep the
+        // declaration they were annotated with.
+        return Some(name);
+    }
+    // `map: HashMap<…>` possibly through wrappers:
+    // `map: RefCell<HashMap<…>>` — strip wrapper idents and `<`.
+    let mut rest = trimmed;
+    loop {
+        rest = rest.trim_end();
+        if let Some(r) = rest.strip_suffix('<') {
+            // Remove the wrapper type name before the `<`.
+            let r = r.trim_end();
+            let cut = r
+                .rfind(|c: char| !(c.is_alphanumeric() || c == '_' || c == ':'))
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            rest = &r[..cut];
+            continue;
+        }
+        break;
+    }
+    let rest = rest.trim_end();
+    let colon_stripped = rest.strip_suffix(':')?;
+    trailing_ident(colon_stripped.trim_end())
+}
+
+/// The identifier ending `text`, if any.
+fn trailing_ident(text: &str) -> Option<String> {
+    let name: String = text
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    if name.is_empty() || name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// R4 — OS threads are banned outside `ml`: detached threads observe
+/// real scheduling order. `ml`'s scoped, member-seeded fan-out is the
+/// one sanctioned escape hatch.
+fn r4_thread_spawn(ctx: &FileContext, prepared: &Prepared, out: &mut Vec<Violation>) {
+    for (idx, line) in prepared.lines.iter().enumerate() {
+        if line.code.contains("thread::spawn") || line.code.contains("thread::Builder") {
+            push(
+                out,
+                ctx,
+                prepared,
+                RuleId::R4,
+                idx + 1,
+                "OS thread spawn outside ml; use Sim::spawn (virtual concurrency) or move the \
+                 parallelism into ml with member-derived seeds"
+                    .into(),
+            );
+        }
+    }
+}
+
+/// R6 — ad-hoc float comparisons in ordering positions are banned:
+/// `.partial_cmp(..)` calls (typically `.partial_cmp(b).unwrap()`) must
+/// become `f64::total_cmp` or a total-order wrapper type that delegates
+/// `partial_cmp` to `Ord::cmp` (the `sim::executor::TimerKey` pattern).
+fn r6_float_order(ctx: &FileContext, prepared: &Prepared, out: &mut Vec<Violation>) {
+    for (idx, line) in prepared.lines.iter().enumerate() {
+        let code = &line.code;
+        let mut start = 0;
+        while let Some(pos) = code[start..].find("partial_cmp") {
+            let at = start + pos;
+            start = at + "partial_cmp".len();
+            // Definitions (`fn partial_cmp`) delegate to a total order —
+            // that is the blessed pattern; only *calls* are flagged.
+            let preceding = code[..at].trim_end();
+            if preceding.ends_with("fn") {
+                continue;
+            }
+            if !code[..at].ends_with('.') {
+                continue;
+            }
+            push(
+                out,
+                ctx,
+                prepared,
+                RuleId::R6,
+                idx + 1,
+                "ad-hoc .partial_cmp() in an ordering position; use f64::total_cmp or a \
+                 total-order wrapper delegating to Ord"
+                    .into(),
+            );
+        }
+    }
+}

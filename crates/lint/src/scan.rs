@@ -1,0 +1,369 @@
+//! Source preparation: comment/string stripping and suppression parsing.
+//!
+//! Rules must never fire on text inside comments or string literals —
+//! "no false positives on comments or strings" is part of hetlint's
+//! contract — so every rule operates on a *stripped* view of each line,
+//! produced here by a small character-level state machine. Comment text
+//! is kept separately because that is where `hetlint: allow(..)`
+//! suppressions live.
+
+/// One source line, split into lintable code and comment text.
+#[derive(Clone, Debug, Default)]
+pub struct PreparedLine {
+    /// The line with comments removed and string/char literal contents
+    /// blanked (quotes retained, so token adjacency is preserved).
+    pub code: String,
+    /// Concatenated comment text appearing on the line.
+    pub comment: String,
+}
+
+/// A parsed `hetlint: allow(<rule>) — <reason>` annotation.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    /// Normalized rule key, e.g. `"r3"`.
+    pub rule: String,
+    /// The free-text justification after the rule (may be empty, which
+    /// is itself a violation).
+    pub reason: String,
+    /// 1-based line the annotation appears on.
+    pub line: usize,
+}
+
+/// A whole file after preparation.
+#[derive(Debug, Default)]
+pub struct Prepared {
+    /// Lines in order (index 0 is line 1).
+    pub lines: Vec<PreparedLine>,
+    /// All suppressions found in comments.
+    pub suppressions: Vec<Suppression>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u8),
+    Char,
+}
+
+/// Strips `source` into per-line code + comment views and extracts
+/// suppression annotations.
+pub fn prepare(source: &str) -> Prepared {
+    let mut out = Prepared::default();
+    let mut state = State::Code;
+    let mut cur = PreparedLine::default();
+    let chars: Vec<char> = source.chars().collect();
+    let n = chars.len();
+    let mut i = 0;
+
+    macro_rules! flush_line {
+        () => {{
+            let done = std::mem::take(&mut cur);
+            out.lines.push(done);
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            flush_line!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                match (c, next) {
+                    ('/', Some('/')) => {
+                        state = State::LineComment;
+                        i += 2;
+                    }
+                    ('/', Some('*')) => {
+                        state = State::BlockComment(1);
+                        i += 2;
+                    }
+                    ('"', _) => {
+                        cur.code.push('"');
+                        state = State::Str;
+                        i += 1;
+                    }
+                    ('r', Some('"')) | ('r', Some('#')) if !prev_is_ident(&cur.code) => {
+                        // Raw string r"..." or r#"..."# (count the #s).
+                        let mut hashes = 0u8;
+                        let mut j = i + 1;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            cur.code.push('"');
+                            state = State::RawStr(hashes);
+                            i = j + 1;
+                        } else {
+                            cur.code.push(c);
+                            i += 1;
+                        }
+                    }
+                    ('\'', _) => {
+                        // Char literal vs lifetime: a literal closes with
+                        // a quote after one (possibly escaped) character.
+                        if next == Some('\\') {
+                            cur.code.push_str("''");
+                            state = State::Char;
+                            i += 2; // skip the backslash
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            cur.code.push_str("''");
+                            i += 3;
+                        } else {
+                            // A lifetime like 'a — plain code.
+                            cur.code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                match (c, next) {
+                    ('*', Some('/')) => {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::BlockComment(depth - 1)
+                        };
+                        i += 2;
+                    }
+                    ('/', Some('*')) => {
+                        state = State::BlockComment(depth + 1);
+                        i += 2;
+                    }
+                    _ => {
+                        cur.comment.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            State::Str => {
+                let next = chars.get(i + 1).copied();
+                match (c, next) {
+                    ('\\', Some(_)) => i += 2,
+                    ('"', _) => {
+                        cur.code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        cur.code.push('"');
+                        state = State::Code;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            State::Char => {
+                if c == '\'' {
+                    state = State::Code;
+                }
+                i += 1;
+            }
+        }
+    }
+    flush_line!();
+
+    for (idx, line) in out.lines.iter().enumerate() {
+        collect_suppressions(&line.comment, idx + 1, &mut out.suppressions);
+    }
+    out
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Parses every `hetlint: allow(<rule>)[ — reason]` in a comment.
+fn collect_suppressions(comment: &str, line: usize, out: &mut Vec<Suppression>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("hetlint:") {
+        rest = &rest[pos + "hetlint:".len()..];
+        let trimmed = rest.trim_start();
+        let Some(after_allow) = trimmed.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = after_allow.find(')') else {
+            continue;
+        };
+        let rule = normalize_rule(&after_allow[..close]);
+        let tail = after_allow[close + 1..]
+            .trim_start_matches([' ', '\t', '—', '-', '–', ':'])
+            .trim();
+        out.push(Suppression { rule, reason: tail.to_string(), line });
+        rest = &after_allow[close + 1..];
+    }
+}
+
+/// Maps rule aliases to canonical keys (`r1`..`r6`).
+pub fn normalize_rule(raw: &str) -> String {
+    let key = raw.trim().to_ascii_lowercase();
+    match key.as_str() {
+        "wall-clock" | "virtual-time" => "r1".into(),
+        "entropy" | "seeded-rng" => "r2".into(),
+        "hash-iteration" | "hash-order" => "r3".into(),
+        "thread-spawn" | "threads" => "r4".into(),
+        "unwrap" | "unwrap-budget" => "r5".into(),
+        "float-ord" | "total-order" => "r6".into(),
+        _ => key,
+    }
+}
+
+/// True when `line_no` (1-based) is covered by a suppression for `rule`:
+/// either an annotation on the line itself or one on an immediately
+/// preceding comment-only line.
+pub fn is_suppressed(prepared: &Prepared, rule: &str, line_no: usize) -> bool {
+    find_suppression(prepared, rule, line_no).is_some()
+}
+
+/// As [`is_suppressed`], returning the matching annotation.
+pub fn find_suppression<'p>(
+    prepared: &'p Prepared,
+    rule: &str,
+    line_no: usize,
+) -> Option<&'p Suppression> {
+    let hit = |l: usize| {
+        prepared
+            .suppressions
+            .iter()
+            .find(|s| s.line == l && s.rule == rule)
+    };
+    if let Some(s) = hit(line_no) {
+        return Some(s);
+    }
+    // Walk up through contiguous comment-only lines.
+    let mut l = line_no;
+    while l > 1 {
+        l -= 1;
+        let idx = l - 1;
+        let line = &prepared.lines[idx];
+        if !line.code.trim().is_empty() {
+            break;
+        }
+        if let Some(s) = hit(l) {
+            return Some(s);
+        }
+        if line.comment.is_empty() && line.code.trim().is_empty() {
+            // Blank line ends the attached comment block.
+            break;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_comments() {
+        let p = prepare("let x = 1; // HashMap.iter() in a comment\n");
+        assert_eq!(p.lines[0].code.trim_end(), "let x = 1;");
+        assert!(p.lines[0].comment.contains("HashMap.iter()"));
+    }
+
+    #[test]
+    fn strips_block_comments_across_lines() {
+        let p = prepare("a /* one\ntwo */ b\n");
+        assert_eq!(p.lines[0].code, "a ");
+        assert_eq!(p.lines[1].code, " b");
+        assert!(p.lines[0].comment.contains("one"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let p = prepare("x /* a /* b */ c */ y\n");
+        assert_eq!(p.lines[0].code, "x  y");
+    }
+
+    #[test]
+    fn strips_string_contents() {
+        let p = prepare("let s = \"Instant::now() inside\"; call();\n");
+        assert_eq!(p.lines[0].code, "let s = \"\"; call();");
+    }
+
+    #[test]
+    fn handles_escaped_quotes() {
+        let p = prepare("let s = \"a\\\"b\"; next()\n");
+        assert_eq!(p.lines[0].code, "let s = \"\"; next()");
+    }
+
+    #[test]
+    fn raw_strings() {
+        let p = prepare("let s = r#\"thread::spawn\"#; f()\n");
+        assert_eq!(p.lines[0].code, "let s = \"\"; f()");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let p = prepare("fn f<'a>(c: char) { if c == 'x' || c == '\\'' {} }\n");
+        assert!(p.lines[0].code.contains("fn f<'a>"));
+        assert!(!p.lines[0].code.contains('x'));
+    }
+
+    #[test]
+    fn parses_suppression_with_reason() {
+        let p = prepare("map.iter(); // hetlint: allow(r3) — sorted below\n");
+        assert_eq!(p.suppressions.len(), 1);
+        assert_eq!(p.suppressions[0].rule, "r3");
+        assert_eq!(p.suppressions[0].reason, "sorted below");
+        assert!(is_suppressed(&p, "r3", 1));
+        assert!(!is_suppressed(&p, "r1", 1));
+    }
+
+    #[test]
+    fn suppression_on_preceding_comment_line() {
+        let src = "// hetlint: allow(r4) — bounded by scope\nthread::spawn(f);\n";
+        let p = prepare(src);
+        assert!(is_suppressed(&p, "r4", 2));
+    }
+
+    #[test]
+    fn suppression_does_not_leak_past_code() {
+        let src = "// hetlint: allow(r4) — first only\nthread::spawn(f);\nthread::spawn(g);\n";
+        let p = prepare(src);
+        assert!(is_suppressed(&p, "r4", 2));
+        assert!(!is_suppressed(&p, "r4", 3));
+    }
+
+    #[test]
+    fn rule_aliases_normalize() {
+        assert_eq!(normalize_rule("Hash-Iteration"), "r3");
+        assert_eq!(normalize_rule("R5"), "r5");
+        assert_eq!(normalize_rule("entropy"), "r2");
+    }
+}

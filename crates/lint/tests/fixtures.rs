@@ -1,0 +1,139 @@
+//! Fixture tests: one passing and one failing fixture per rule, plus
+//! suppression behavior and false-positive guards.
+//!
+//! Fixture sources live under `tests/fixtures/` (cargo does not compile
+//! files in test subdirectories) and are linted via [`lint_source`]
+//! under a synthetic sim-driven context, exactly the code path the
+//! workspace walk uses.
+
+use hetflow_lint::{lint_source, FileContext, FileKind, RuleId};
+
+/// Lints a fixture as if it were sim-driven library code.
+fn lint_sim(source: &str) -> hetflow_lint::FileReport {
+    let ctx = FileContext::new("sim", FileKind::LibSrc, "crates/sim/src/fixture.rs");
+    lint_source(&ctx, source)
+}
+
+fn rules_of(report: &hetflow_lint::FileReport) -> Vec<RuleId> {
+    report.violations.iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn r1_bad_flags_every_wall_clock_read() {
+    let report = lint_sim(include_str!("fixtures/r1_bad.rs"));
+    let rules = rules_of(&report);
+    assert!(rules.iter().all(|r| *r == RuleId::R1), "{rules:?}");
+    // Instant (use + call), SystemTime (use + call), thread::sleep.
+    assert!(rules.len() >= 5, "expected ≥5 R1 hits, got {rules:?}");
+}
+
+#[test]
+fn r1_good_is_clean_despite_comments_and_strings() {
+    let report = lint_sim(include_str!("fixtures/r1_good.rs"));
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+#[test]
+fn r2_bad_flags_all_three_entropy_sources() {
+    let report = lint_sim(include_str!("fixtures/r2_bad.rs"));
+    let rules = rules_of(&report);
+    assert_eq!(rules, vec![RuleId::R2, RuleId::R2, RuleId::R2], "{:?}", report.violations);
+}
+
+#[test]
+fn r2_good_named_streams_are_clean() {
+    let report = lint_sim(include_str!("fixtures/r2_good.rs"));
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+#[test]
+fn r2_exempts_the_rng_module_itself() {
+    let ctx = FileContext::new("sim", FileKind::LibSrc, "crates/sim/src/rng.rs");
+    let report = lint_source(&ctx, include_str!("fixtures/r2_bad.rs"));
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+#[test]
+fn r3_bad_flags_iteration_over_hash_containers() {
+    let report = lint_sim(include_str!("fixtures/r3_bad.rs"));
+    let rules = rules_of(&report);
+    assert!(rules.iter().all(|r| *r == RuleId::R3), "{:?}", report.violations);
+    // route.iter(), route.keys(), for s in &seen.
+    assert!(rules.len() >= 3, "expected ≥3 R3 hits, got {:?}", report.violations);
+}
+
+#[test]
+fn r3_good_keyed_lookup_and_btreemap_are_clean() {
+    let report = lint_sim(include_str!("fixtures/r3_good.rs"));
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+#[test]
+fn r3_does_not_apply_outside_sim_driven_crates() {
+    let ctx = FileContext::new("ml", FileKind::LibSrc, "crates/ml/src/fixture.rs");
+    let report = lint_source(&ctx, include_str!("fixtures/r3_bad.rs"));
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+#[test]
+fn r4_bad_flags_os_thread_spawn() {
+    let report = lint_sim(include_str!("fixtures/r4_bad.rs"));
+    assert_eq!(rules_of(&report), vec![RuleId::R4], "{:?}", report.violations);
+}
+
+#[test]
+fn r4_good_sim_spawn_is_clean() {
+    let report = lint_sim(include_str!("fixtures/r4_good.rs"));
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+#[test]
+fn r4_exempts_the_ml_crate() {
+    let ctx = FileContext::new("ml", FileKind::LibSrc, "crates/ml/src/fixture.rs");
+    let report = lint_source(&ctx, include_str!("fixtures/r4_bad.rs"));
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+#[test]
+fn r5_counts_library_sites_minus_annotations_and_tests() {
+    let report = lint_sim(include_str!("fixtures/r5_budget.rs"));
+    // Two countable sites: the annotated one and the two inside
+    // #[cfg(test)] are excluded.
+    assert_eq!(report.unwrap_sites.len(), 2, "{:?}", report.unwrap_sites);
+}
+
+#[test]
+fn r5_ignores_non_library_files() {
+    let ctx = FileContext::new("sim", FileKind::Test, "crates/sim/tests/fixture.rs");
+    let report = lint_source(&ctx, include_str!("fixtures/r5_budget.rs"));
+    assert!(report.unwrap_sites.is_empty());
+}
+
+#[test]
+fn r6_bad_flags_ad_hoc_partial_cmp_calls() {
+    let report = lint_sim(include_str!("fixtures/r6_bad.rs"));
+    assert_eq!(rules_of(&report), vec![RuleId::R6], "{:?}", report.violations);
+}
+
+#[test]
+fn r6_good_blesses_delegating_definitions_and_total_cmp() {
+    let report = lint_sim(include_str!("fixtures/r6_good.rs"));
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+#[test]
+fn reasoned_allow_suppresses_and_is_reported_as_such() {
+    let report = lint_sim(include_str!("fixtures/allow_reasoned.rs"));
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert_eq!(report.suppressed.len(), 1);
+    assert!(report.bad_allows.is_empty());
+    assert_eq!(report.suppressed[0].rule, RuleId::R1);
+}
+
+#[test]
+fn reasonless_allow_is_a_violation_in_its_own_right() {
+    let report = lint_sim(include_str!("fixtures/allow_reasonless.rs"));
+    assert!(report.violations.is_empty(), "the hit itself is suppressed");
+    assert_eq!(report.bad_allows.len(), 1, "{:?}", report.bad_allows);
+    assert_eq!(report.bad_allows[0].rule, RuleId::BadAllow);
+}

@@ -1,0 +1,7 @@
+//! Suppression fixture: a reasoned allow covers the next code line.
+
+fn timed() {
+    // hetlint: allow(r1) — host-side profiling harness, not sim state
+    let t0 = Instant::now();
+    let _ = t0;
+}

@@ -1,0 +1,6 @@
+//! Suppression fixture: an allow with no reason is itself a violation.
+
+fn timed() {
+    let t0 = Instant::now(); // hetlint: allow(r1)
+    let _ = t0;
+}

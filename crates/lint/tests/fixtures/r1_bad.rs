@@ -1,0 +1,9 @@
+//! R1 failing fixture: wall-clock reads in a sim-driven crate.
+use std::time::{Duration, Instant, SystemTime};
+
+fn measure() -> Duration {
+    let start = Instant::now();
+    std::thread::sleep(Duration::from_millis(5));
+    let _ = SystemTime::now();
+    start.elapsed()
+}

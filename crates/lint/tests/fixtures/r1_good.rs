@@ -1,0 +1,10 @@
+//! R1 passing fixture: virtual time only. The words Instant and
+//! SystemTime in comments must not fire, nor in strings.
+
+fn wait(sim: &Sim) {
+    // Instant::now() would be wrong here; Sim::now() is virtual.
+    let t0 = sim.now();
+    sim.sleep(Duration::from_millis(5));
+    let msg = "no Instant or SystemTime or thread::sleep here";
+    let _ = (t0, msg);
+}

@@ -1,0 +1,8 @@
+//! R2 failing fixture: ambient entropy outside sim::rng.
+
+fn seed_badly() -> u64 {
+    let mut r = thread_rng();
+    let s = SmallRng::from_entropy();
+    let o = OsRng;
+    mix(r.gen(), s, o)
+}

@@ -1,0 +1,8 @@
+//! R2 passing fixture: named seeded streams. `thread_rng` appears only
+//! in this comment and in a string below.
+
+fn seed_well(master: &SimRng) -> SimRng {
+    let label = "never call thread_rng or OsRng";
+    let _ = label;
+    master.stream("steer.batch")
+}

@@ -1,0 +1,20 @@
+//! R3 failing fixture: order-leaking iteration over hash containers.
+use std::collections::{HashMap, HashSet};
+
+struct Router {
+    route: HashMap<String, usize>,
+}
+
+fn leak(r: &Router, seen: HashSet<u64>) -> usize {
+    let mut total = 0;
+    for (_, v) in r.route.iter() {
+        total += v;
+    }
+    for k in r.route.keys() {
+        total += k.len();
+    }
+    for s in &seen {
+        total += *s as usize;
+    }
+    total
+}

@@ -1,0 +1,21 @@
+//! R3 passing fixture: keyed lookup on a HashMap is fine, and BTreeMap
+//! iteration is fine. `route.iter()` in this comment must not fire.
+use std::collections::{BTreeMap, HashMap};
+
+struct Router {
+    route: HashMap<String, usize>,
+    ordered: BTreeMap<String, usize>,
+}
+
+fn lookup(r: &mut Router, key: &str) -> usize {
+    r.route.insert(key.to_string(), 1);
+    if r.route.contains_key(key) {
+        let mut total = *r.route.get(key).unwrap_or(&0);
+        for (_, v) in r.ordered.iter() {
+            total += v;
+        }
+        total
+    } else {
+        0
+    }
+}

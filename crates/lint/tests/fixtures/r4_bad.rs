@@ -1,0 +1,7 @@
+//! R4 failing fixture: OS threads outside ml.
+
+fn fan_out(jobs: Vec<Job>) {
+    for job in jobs {
+        std::thread::spawn(move || job.run());
+    }
+}

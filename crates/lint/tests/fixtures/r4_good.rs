@@ -1,0 +1,10 @@
+//! R4 passing fixture: virtual concurrency via the simulator. The token
+//! thread::spawn appears only in this comment and the string below.
+
+fn fan_out(sim: &Sim, jobs: Vec<Job>) {
+    let note = "thread::spawn is banned here";
+    let _ = note;
+    for job in jobs {
+        sim.spawn(async move { job.run().await });
+    }
+}

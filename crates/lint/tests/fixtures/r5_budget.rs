@@ -1,0 +1,21 @@
+//! R5 fixture: three library unwraps, one annotated away, plus test-only
+//! unwraps that never count.
+
+fn two_sites(x: Option<u32>, y: Result<u32, E>) -> u32 {
+    let a = x.unwrap();
+    let b = y.expect("calibration table is complete");
+    // hetlint: allow(r5) — index is bounds-checked two lines above
+    let c = TABLE.get(0).unwrap();
+    a + b + c
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_only_unwraps_do_not_count() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let w: Result<u32, ()> = Ok(2);
+        assert_eq!(w.expect("fine in tests"), 2);
+    }
+}

@@ -1,0 +1,5 @@
+//! R6 failing fixture: ad-hoc partial ordering of floats.
+
+fn pick_best(scores: &mut Vec<(usize, f64)>) {
+    scores.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+}

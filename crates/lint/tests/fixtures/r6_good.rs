@@ -1,0 +1,14 @@
+//! R6 passing fixture: total orders only. A delegating `partial_cmp`
+//! *definition* is the blessed wrapper pattern.
+
+struct Key(f64);
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Key) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn pick_best(scores: &mut Vec<(usize, f64)>) {
+    scores.sort_by(|a, b| a.1.total_cmp(&b.1));
+}

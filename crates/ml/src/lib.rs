@@ -12,7 +12,7 @@
 //! * [`PairPotential`] — a linear pair potential fit jointly on energies
 //!   and forces; its analytic gradient is exact, so MD sampling can run
 //!   on the learned surface (the §III-B sampling tasks).
-//! * [`Ensemble`] — bagged ensembles with crossbeam-parallel training
+//! * [`Ensemble`] — bagged ensembles with scoped-thread-parallel training
 //!   and mean/std prediction for UCB acquisition ([`rank`]).
 //! * [`linalg`] — the dense matrix/Cholesky kernel behind the solvers.
 //!

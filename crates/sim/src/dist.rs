@@ -17,20 +17,48 @@ pub enum Dist {
     /// Always `value`.
     Constant(f64),
     /// Uniform on `[lo, hi)`.
-    Uniform { lo: f64, hi: f64 },
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
     /// Exponential with the given mean.
-    Exponential { mean: f64 },
+    Exponential {
+        /// Mean (1/λ).
+        mean: f64,
+    },
     /// Normal truncated at zero.
-    Normal { mean: f64, sd: f64 },
+    Normal {
+        /// Mean of the untruncated normal.
+        mean: f64,
+        /// Standard deviation.
+        sd: f64,
+    },
     /// Log-normal parameterized by its *median* and the σ of the
     /// underlying normal — the natural way to express "typically 500 ms,
     /// occasionally seconds" service latencies.
-    LogNormal { median: f64, sigma: f64 },
+    LogNormal {
+        /// Median of the distribution (= e^μ).
+        median: f64,
+        /// σ of the underlying normal.
+        sigma: f64,
+    },
     /// Pareto (Lomax-style heavy tail) with minimum `scale` and shape
     /// `alpha`; models rare multi-second stragglers.
-    Pareto { scale: f64, alpha: f64 },
+    Pareto {
+        /// Minimum value (the distribution's support starts here).
+        scale: f64,
+        /// Tail index; smaller means heavier tail.
+        alpha: f64,
+    },
     /// `base + inner`: a deterministic floor plus stochastic excess.
-    Shifted { base: f64, inner: Box<Dist> },
+    Shifted {
+        /// Deterministic floor added to every sample.
+        base: f64,
+        /// The stochastic excess above the floor.
+        inner: Box<Dist>,
+    },
 }
 
 impl Dist {

@@ -91,6 +91,32 @@ impl Tracer {
     pub fn clear(&self) {
         self.state.borrow_mut().events.clear();
     }
+
+    /// FNV-1a digest of the full event stream, in emission order.
+    ///
+    /// Folds every field of every event — time, actor, kind, entity,
+    /// and the payload's exact bit pattern — so two traces share a
+    /// digest only if they are bit-identical. This is the quantity the
+    /// determinism regression suite compares across same-seed runs.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for e in self.state.borrow().events.iter() {
+            fold(&e.t.as_nanos().to_le_bytes());
+            fold(e.actor.as_bytes());
+            fold(&[0xff]); // field separator: actor is variable-length
+            fold(e.kind.as_bytes());
+            fold(&[0xff]);
+            fold(&e.entity.to_le_bytes());
+            fold(&e.value.to_bits().to_le_bytes());
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +151,26 @@ mod tests {
         assert_eq!(t.events_of_kind("start").len(), 2);
         assert_eq!(t.events_of_kind("stop").len(), 1);
         assert_eq!(t.events_of_kind("nope").len(), 0);
+    }
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let a = Tracer::enabled();
+        a.emit(SimTime::from_secs(1), "w", "start", 1, 0.5);
+        a.emit(SimTime::from_secs(2), "w", "stop", 1, 0.0);
+        let b = Tracer::enabled();
+        b.emit(SimTime::from_secs(1), "w", "start", 1, 0.5);
+        b.emit(SimTime::from_secs(2), "w", "stop", 1, 0.0);
+        assert_eq!(a.digest(), b.digest());
+        let c = Tracer::enabled();
+        c.emit(SimTime::from_secs(2), "w", "stop", 1, 0.0);
+        c.emit(SimTime::from_secs(1), "w", "start", 1, 0.5);
+        assert_ne!(a.digest(), c.digest(), "order must matter");
+        // Variable-length actor/kind fields must not alias.
+        let d = Tracer::enabled();
+        d.emit(SimTime::from_secs(1), "ws", "tart", 1, 0.5);
+        d.emit(SimTime::from_secs(2), "w", "stop", 1, 0.0);
+        assert_ne!(a.digest(), d.digest(), "field boundaries must matter");
     }
 
     #[test]

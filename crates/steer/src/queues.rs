@@ -17,7 +17,7 @@ use hetflow_store::{ProxyPolicy, SiteId, UntypedProxy};
 use hetflow_sim::{channel, Dist, Receiver, Sender, Sim, SimRng, Tracer};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -90,7 +90,7 @@ struct Shared {
     rng: RefCell<SimRng>,
     next_id: Cell<TaskId>,
     submit_tx: Sender<TaskSpec>,
-    topic_rx: HashMap<String, Receiver<TaskResult>>,
+    topic_rx: BTreeMap<String, Receiver<TaskResult>>,
     records: RefCell<Vec<TaskRecord>>,
     tracer: Tracer,
     outstanding: Cell<i64>,
@@ -339,8 +339,8 @@ impl TaskServer {
         tracer: Tracer,
     ) -> ClientQueues {
         let (submit_tx, submit_rx) = channel::<TaskSpec>();
-        let mut topic_tx: HashMap<String, Sender<TaskResult>> = HashMap::new();
-        let mut topic_rx: HashMap<String, Receiver<TaskResult>> = HashMap::new();
+        let mut topic_tx: BTreeMap<String, Sender<TaskResult>> = BTreeMap::new();
+        let mut topic_rx: BTreeMap<String, Receiver<TaskResult>> = BTreeMap::new();
         for &topic in topics {
             let (tx, rx) = channel::<TaskResult>();
             topic_tx.insert(topic.to_owned(), tx);

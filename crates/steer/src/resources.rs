@@ -9,7 +9,7 @@
 
 use hetflow_sim::{Permit, Semaphore};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 struct PoolSlots {
@@ -20,7 +20,7 @@ struct PoolSlots {
 /// Named pools of worker slots.
 #[derive(Clone, Default)]
 pub struct ResourceCounter {
-    pools: Rc<RefCell<HashMap<String, Rc<PoolSlots>>>>,
+    pools: Rc<RefCell<BTreeMap<String, Rc<PoolSlots>>>>,
 }
 
 impl ResourceCounter {

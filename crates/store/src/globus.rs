@@ -13,7 +13,7 @@
 use crate::location::SiteId;
 use hetflow_sim::{Dist, Event, Samples, Semaphore, Sim, SimRng};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -69,7 +69,7 @@ struct ServiceInner {
     params: GlobusParams,
     slots: Semaphore,
     rng: RefCell<SimRng>,
-    routes: RefCell<HashMap<(SiteId, SiteId), RouteQueue>>,
+    routes: RefCell<BTreeMap<(SiteId, SiteId), RouteQueue>>,
     transfers_started: std::cell::Cell<u64>,
     transfer_jobs: std::cell::Cell<u64>,
     bytes_moved: std::cell::Cell<u64>,
@@ -117,7 +117,7 @@ impl GlobusService {
                 params,
                 slots,
                 rng: RefCell::new(rng),
-                routes: RefCell::new(HashMap::new()),
+                routes: RefCell::new(BTreeMap::new()),
                 transfers_started: std::cell::Cell::new(0),
                 transfer_jobs: std::cell::Cell::new(0),
                 bytes_moved: std::cell::Cell::new(0),

@@ -6,7 +6,7 @@
 //! [`ProxyPolicy`] is that mapping from task topic to (store, threshold).
 
 use crate::store::Store;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-topic proxying rule.
 #[derive(Clone)]
@@ -21,7 +21,7 @@ pub struct TopicRule {
 /// Maps task topics to proxy rules, with an optional default.
 #[derive(Clone, Default)]
 pub struct ProxyPolicy {
-    rules: HashMap<String, TopicRule>,
+    rules: BTreeMap<String, TopicRule>,
     default: Option<TopicRule>,
 }
 
@@ -33,7 +33,7 @@ impl ProxyPolicy {
 
     /// A policy applying one rule to every topic.
     pub fn uniform(store: Store, threshold: u64) -> Self {
-        ProxyPolicy { rules: HashMap::new(), default: Some(TopicRule { store, threshold }) }
+        ProxyPolicy { rules: BTreeMap::new(), default: Some(TopicRule { store, threshold }) }
     }
 
     /// Adds a topic-specific rule, overriding the default for that topic.

@@ -11,7 +11,7 @@ use crate::location::{SiteId, SiteSet};
 use hetflow_sim::{Dist, Samples, Sim, SimRng};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -35,7 +35,12 @@ pub enum StoreError {
     /// The key does not exist (never stored, or evicted).
     Missing(u64),
     /// The requested site cannot reach this store's data plane.
-    Unreachable { site: SiteId, store: &'static str },
+    Unreachable {
+        /// The site that attempted the access.
+        site: SiteId,
+        /// Name of the store backend that rejected it.
+        store: &'static str,
+    },
     /// The stored value is not of the requested type.
     TypeMismatch(u64),
 }
@@ -177,7 +182,7 @@ struct ObjectEntry {
     /// Sites where the bytes are resident.
     resident: SiteSet,
     /// In-flight replication per destination site.
-    transfers: HashMap<SiteId, TransferTicket>,
+    transfers: BTreeMap<SiteId, TransferTicket>,
 }
 
 /// Aggregate store statistics.
@@ -205,7 +210,7 @@ struct Inner {
     backend: Backend,
     eviction: Cell<EvictionPolicy>,
     rng: RefCell<SimRng>,
-    objects: RefCell<HashMap<u64, ObjectEntry>>,
+    objects: RefCell<BTreeMap<u64, ObjectEntry>>,
     next_key: Cell<u64>,
     stats: RefCell<StoreStats>,
     resolve_waits: RefCell<Samples>,
@@ -249,7 +254,7 @@ impl Store {
                 backend,
                 eviction: Cell::new(EvictionPolicy::Manual),
                 rng: RefCell::new(rng),
-                objects: RefCell::new(HashMap::new()),
+                objects: RefCell::new(BTreeMap::new()),
                 next_key: Cell::new(0),
                 stats: RefCell::new(StoreStats::default()),
                 resolve_waits: RefCell::new(Samples::new()),
@@ -290,7 +295,7 @@ impl Store {
     ) -> Result<u64, StoreError> {
         let inner = &self.inner;
         let mut resident = SiteSet::EMPTY;
-        let mut transfers = HashMap::new();
+        let mut transfers = BTreeMap::new();
         match &inner.backend {
             Backend::Redis(p) => {
                 if !p.connected.contains(from) {

@@ -87,3 +87,52 @@ fn record_timings_reproducible_across_runs() {
     };
     assert_eq!(lifetimes(), lifetimes());
 }
+
+/// Runs a small moldesign campaign with tracing on and returns the
+/// trace digest plus the event count, under the given fabric config.
+fn traced_digest(config: WorkflowConfig, seed: u64) -> (u64, usize) {
+    let sim = Sim::new();
+    let tracer = Tracer::enabled();
+    let spec = DeploymentSpec { cpu_workers: 4, gpu_workers: 2, seed, ..Default::default() };
+    let d = deploy(&sim, config, &spec, tracer.clone());
+    let _ = moldesign::run(
+        &sim,
+        &d,
+        MolDesignParams {
+            library_size: 400,
+            budget: Duration::from_secs(1200),
+            ensemble_size: 2,
+            retrain_after: 8,
+            seed,
+            ..Default::default()
+        },
+    );
+    (tracer.digest(), tracer.len())
+}
+
+#[test]
+fn trace_digest_reproducible_fnx_globus() {
+    let (d1, n1) = traced_digest(WorkflowConfig::FnXGlobus, 1234);
+    let (d2, n2) = traced_digest(WorkflowConfig::FnXGlobus, 1234);
+    assert!(n1 > 0, "traced campaign emitted no events");
+    assert_eq!(n1, n2, "event counts diverged between same-seed runs");
+    assert_eq!(d1, d2, "trace digests diverged between same-seed runs");
+}
+
+#[test]
+fn trace_digest_reproducible_parsl_redis() {
+    let (d1, n1) = traced_digest(WorkflowConfig::ParslRedis, 1234);
+    let (d2, n2) = traced_digest(WorkflowConfig::ParslRedis, 1234);
+    assert!(n1 > 0, "traced campaign emitted no events");
+    assert_eq!(n1, n2, "event counts diverged between same-seed runs");
+    assert_eq!(d1, d2, "trace digests diverged between same-seed runs");
+}
+
+#[test]
+fn trace_digest_distinguishes_fabrics_and_seeds() {
+    let (fnx, _) = traced_digest(WorkflowConfig::FnXGlobus, 1234);
+    let (parsl, _) = traced_digest(WorkflowConfig::ParslRedis, 1234);
+    assert_ne!(fnx, parsl, "different fabrics should produce different traces");
+    let (fnx_other, _) = traced_digest(WorkflowConfig::FnXGlobus, 4321);
+    assert_ne!(fnx, fnx_other, "different seeds should produce different traces");
+}

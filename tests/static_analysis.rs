@@ -1,0 +1,43 @@
+//! Tier-1 gate: the hetlint determinism contract must hold for every
+//! source file in the workspace.
+//!
+//! This is the same pass `cargo run -p hetflow-lint` performs, embedded
+//! as an integration test so a wall-clock read, ambient entropy source,
+//! hash-order iteration, stray thread spawn, unwrap-budget overrun, or
+//! ad-hoc float ordering fails `cargo test` directly. See DESIGN.md
+//! "Determinism rules" for the rule catalogue and the
+//! `// hetlint: allow(<rule>) — <reason>` suppression syntax.
+
+use std::path::Path;
+
+#[test]
+fn workspace_obeys_determinism_contract() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = hetflow_lint::run(root).expect("workspace walk failed");
+    assert!(report.files_scanned > 50, "walk found too few files: {}", report.files_scanned);
+    let mut failures = String::new();
+    for v in report.violations.iter().chain(&report.bad_allows) {
+        failures.push_str(&format!("  {v}\n"));
+    }
+    for (name, count, budget) in &report.unwrap_rows {
+        if count > budget {
+            failures.push_str(&format!(
+                "  crate `{name}`: {count} unwrap()/expect() sites exceed budget {budget}\n"
+            ));
+        }
+    }
+    assert!(
+        report.clean(),
+        "hetlint violations (see DESIGN.md \"Determinism rules\"):\n{failures}"
+    );
+}
+
+#[test]
+fn suppressions_all_carry_reasons() {
+    // `clean()` already folds bad allows in; this test documents the
+    // invariant separately so a reason-less allow names itself.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = hetflow_lint::run(root).expect("workspace walk failed");
+    let bad: Vec<String> = report.bad_allows.iter().map(|v| v.to_string()).collect();
+    assert!(bad.is_empty(), "reason-less hetlint allows:\n{}", bad.join("\n"));
+}
