@@ -318,6 +318,9 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: FinetuneParams) -> Finetu
                 let Some(done) = queues.get_result("sample").await else { break };
                 let resolved = done.resolve().await;
                 counter.release("sample", 1);
+                if resolved.is_failed() {
+                    continue; // lost trajectory: free the slot, sample again
+                }
                 let frames = resolved.value::<Vec<Structure>>();
                 state.samples_done.set(state.samples_done.get() + 1);
                 {
@@ -381,15 +384,25 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: FinetuneParams) -> Finetu
                 let mut all: Vec<Rc<Vec<f64>>> = Vec::with_capacity(n);
                 for _ in 0..n {
                     let Some(done) = queues.get_result("infer").await else { return };
-                    all.push(done.resolve().await.value::<Vec<f64>>());
+                    let resolved = done.resolve().await;
+                    if resolved.is_failed() {
+                        continue; // member's scores lost for this round
+                    }
+                    all.push(resolved.value::<Vec<f64>>());
                 }
-                // Variance across members per structure; highest first.
+                if all.is_empty() {
+                    state.inference_active.set(false);
+                    continue;
+                }
+                // Variance across the surviving members, per structure;
+                // highest first.
+                let k = all.len() as f64;
                 let m = batch.len();
                 let mut vars: Vec<f64> = Vec::with_capacity(m);
                 for i in 0..m {
-                    let mean: f64 = all.iter().map(|v| v[i]).sum::<f64>() / n as f64;
+                    let mean: f64 = all.iter().map(|v| v[i]).sum::<f64>() / k;
                     let var: f64 =
-                        all.iter().map(|v| (v[i] - mean).powi(2)).sum::<f64>() / n as f64;
+                        all.iter().map(|v| (v[i] - mean).powi(2)).sum::<f64>() / k;
                     vars.push(var);
                 }
                 let order = hetflow_ml::rank_by_uncertainty(&vars, m);
@@ -452,6 +465,9 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: FinetuneParams) -> Finetu
                 let Some(done) = queues.get_result("simulate").await else { break };
                 let resolved = done.resolve().await;
                 counter.release("simulate", 1);
+                if resolved.is_failed() {
+                    continue; // no label produced: the structure is lost
+                }
                 let labelled = resolved.value::<LabelledStructure>();
                 state.reference_data.borrow_mut().push((*labelled).clone());
                 state.new_count.set(state.new_count.get() + 1);
@@ -499,10 +515,17 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: FinetuneParams) -> Finetu
                 let mut members = Vec::with_capacity(n);
                 for _ in 0..n {
                     let Some(done) = queues.get_result("train").await else { return };
-                    members.push((*done.resolve().await.value::<PairPotential>()).clone());
+                    let resolved = done.resolve().await;
+                    if resolved.is_failed() {
+                        continue; // train member lost; the round shrinks
+                    }
+                    members.push((*resolved.value::<PairPotential>()).clone());
                 }
-                *state.ensemble.borrow_mut() = Rc::new(Ensemble::from_members(members));
-                state.rounds.set(state.rounds.get() + 1);
+                if !members.is_empty() {
+                    // A fully failed round keeps the previous ensemble.
+                    *state.ensemble.borrow_mut() = Rc::new(Ensemble::from_members(members));
+                    state.rounds.set(state.rounds.get() + 1);
+                }
                 state.training_active.set(false);
             }
         });

@@ -86,6 +86,9 @@ pub struct MolDesignOutcome {
     pub found: usize,
     /// Simulations completed.
     pub simulations: usize,
+    /// Tasks (of any topic) that came back failed — nonzero only under
+    /// failure injection or outages.
+    pub failed: usize,
     /// `(cumulative simulation node-seconds, molecules found)` curve —
     /// the Fig. 6a series.
     pub found_curve: Vec<(f64, usize)>,
@@ -135,6 +138,8 @@ struct State {
     node_time: Cell<f64>,
     /// Molecules found above threshold.
     found: Cell<usize>,
+    /// Failed tasks observed (any topic).
+    failed: Cell<usize>,
     found_curve: RefCell<Vec<(f64, usize)>>,
     ml_makespans: RefCell<Samples>,
     params: MolDesignParams,
@@ -162,6 +167,7 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: MolDesignParams) -> MolDe
         training_active: Cell::new(false),
         node_time: Cell::new(0.0),
         found: Cell::new(0),
+        failed: Cell::new(0),
         found_curve: RefCell::new(vec![(0.0, 0)]),
         ml_makespans: RefCell::new(Samples::new()),
         params: params.clone(),
@@ -226,6 +232,12 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: MolDesignParams) -> MolDe
                 let Some(done) = queues.get_result("simulate").await else { break };
                 let resolved = done.resolve().await;
                 slots.add_permits(1);
+                if resolved.is_failed() {
+                    // The candidate is lost for this campaign: free the
+                    // worker slot and keep steering on what did finish.
+                    state.failed.set(state.failed.get() + 1);
+                    continue;
+                }
                 let (id, ip, node_secs) = *resolved.value::<(usize, f64, f64)>();
                 state.node_time.set(state.node_time.get() + node_secs);
                 state.database.borrow_mut().push((id, ip));
@@ -311,10 +323,16 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: MolDesignParams) -> MolDe
                 };
                 // As each model finishes, immediately launch its
                 // inference task (§V-D3: inference begins after the
-                // *first* model completes training).
+                // *first* model completes training). A failed member
+                // shrinks this round's ensemble instead of aborting it.
+                let mut launched = 0usize;
                 for _ in 0..n {
                     let Some(done) = queues.get_result("train").await else { return };
                     let resolved = done.resolve().await;
+                    if resolved.is_failed() {
+                        state.failed.set(state.failed.get() + 1);
+                        continue;
+                    }
                     let model: Rc<RffRidge> = resolved.value::<RffRidge>();
                     let duration = cal::moldesign_infer_duration().sample(&mut rng);
                     let compute = infer_task(Rc::clone(&state.lib), model, duration);
@@ -326,15 +344,22 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: MolDesignParams) -> MolDe
                         }
                     }
                     queues.submit("infer", payloads, compute).await;
+                    launched += 1;
                 }
                 // Gather the score vectors and reorder the queue by UCB.
-                let mut score_sets: Vec<Rc<Vec<f64>>> = Vec::with_capacity(n);
-                for _ in 0..n {
+                let mut score_sets: Vec<Rc<Vec<f64>>> = Vec::with_capacity(launched);
+                for _ in 0..launched {
                     let Some(done) = queues.get_result("infer").await else { return };
                     let resolved = done.resolve().await;
+                    if resolved.is_failed() {
+                        state.failed.set(state.failed.get() + 1);
+                        continue;
+                    }
                     score_sets.push(resolved.value::<Vec<f64>>());
                 }
-                reorder_queue(&state, &score_sets);
+                if !score_sets.is_empty() {
+                    reorder_queue(&state, &score_sets);
+                }
                 state
                     .ml_makespans
                     .borrow_mut()
@@ -351,6 +376,7 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: MolDesignParams) -> MolDe
     let outcome = MolDesignOutcome {
         found: state.found.get(),
         simulations: state.database.borrow().len(),
+        failed: state.failed.get(),
         found_curve: state.found_curve.borrow().clone(),
         ml_makespans: state.ml_makespans.borrow().clone(),
         cpu_idle: deployment.cpu_pool.idle_gaps(),
@@ -512,6 +538,7 @@ mod tests {
         let outcome = MolDesignOutcome {
             found: 3,
             simulations: 5,
+            failed: 0,
             found_curve: vec![(0.0, 0), (100.0, 1), (200.0, 3)],
             ml_makespans: Samples::new(),
             cpu_idle: Samples::new(),

@@ -34,13 +34,14 @@ fn main() {
                 ..Default::default()
             },
         );
-        let idle = outcome.cpu_idle.median();
+        let idle_q = outcome.cpu_idle.quantiles(&[0.5, 0.9]);
+        let idle = idle_q[0];
         let util = 60.0 / (60.0 + idle);
         println!(
             "{:>8} {:>14.0} {:>14.0} {:>12.2}%",
             backlog,
             idle * 1e3,
-            outcome.cpu_idle.quantile(0.9) * 1e3,
+            idle_q[1] * 1e3,
             100.0 * util
         );
         if backlog == 0 {

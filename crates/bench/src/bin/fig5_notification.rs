@@ -44,12 +44,13 @@ fn main() {
     );
     for topic in ["simulate", "train", "infer"] {
         let b = Breakdown::of(&outcome.records, Some(topic));
+        let notify = b.notification.quantiles(&[0.5, 0.9]);
         println!(
             "{:<10} {:>6} {:>18.0} {:>18.0} {:>18.0}",
             topic,
             b.count,
-            b.notification.median() * 1e3,
-            b.notification.quantile(0.9) * 1e3,
+            notify[0] * 1e3,
+            notify[1] * 1e3,
             b.data_wait.median() * 1e3,
         );
     }

@@ -143,6 +143,7 @@ impl NoopPipeline {
             ser: cal.ser.clone(),
             local_hop: cal.worker_hop.clone(),
             failure: None,
+            retry: hetflow_fabric::RetryPolicies::default(),
             start_delays: Vec::new(),
         };
 

@@ -72,6 +72,9 @@ pub struct DeploymentSpec {
     pub seed: u64,
     /// Worker failure injection (`None` = reliable workers).
     pub failure: Option<hetflow_fabric::FailureModel>,
+    /// Per-topic retry/timeout/backoff policies governing how failures
+    /// and delivery stalls are handled.
+    pub retry: hetflow_fabric::RetryPolicies,
     /// CPU endpoint connectivity (FnX configuration only; HTEX has no
     /// store-and-forward tier, so outages there stall the link).
     pub cpu_connectivity: hetflow_fabric::Connectivity,
@@ -88,6 +91,7 @@ impl Default for DeploymentSpec {
             calibration: Calibration::default(),
             seed: 42,
             failure: None,
+            retry: hetflow_fabric::RetryPolicies::default(),
             cpu_connectivity: hetflow_fabric::Connectivity::always_on(),
             gpu_connectivity: hetflow_fabric::Connectivity::always_on(),
         }
@@ -185,6 +189,7 @@ pub fn deploy(
         ser: cal.ser.clone(),
         local_hop: cal.worker_hop.clone(),
         failure: spec.failure.clone(),
+        retry: spec.retry.clone(),
         start_delays: Vec::new(),
     };
     let gpu_pool_config = WorkerPoolConfig {
@@ -195,6 +200,7 @@ pub fn deploy(
         ser: cal.ser.clone(),
         local_hop: cal.worker_hop.clone(),
         failure: spec.failure.clone(),
+        retry: spec.retry.clone(),
         start_delays: Vec::new(),
     };
 

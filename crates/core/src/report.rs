@@ -128,6 +128,7 @@ mod tests {
             data_was_local: true,
             site,
             worker: "w".into(),
+            outcome: hetflow_fabric::TaskOutcome::Success,
         }
     }
 

@@ -14,9 +14,10 @@
 //! ~10× at 1 MB when proxied) are reproduced.
 
 use crate::fabric::Fabric;
-use crate::task::{TaskResult, TaskSpec};
+use crate::reliability::RetryPolicies;
+use crate::task::{Arg, TaskError, TaskOutcome, TaskResult, TaskSpec, WorkerReport};
 use crate::worker::{WorkerPool, WorkerPoolConfig};
-use hetflow_sim::{channel, Dist, Sender, Sim, SimRng, Tracer};
+use hetflow_sim::{channel, trace_kinds as kinds, Dist, Sender, Sim, SimRng, Tracer};
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::future::Future;
@@ -101,9 +102,12 @@ struct Inner {
     route: BTreeMap<String, usize>,
     pools: Vec<WorkerPool>,
     connectivity: Vec<crate::reliability::Connectivity>,
+    retries: Vec<RetryPolicies>,
     results: Sender<TaskResult>,
+    tracer: Tracer,
     submitted: Cell<u64>,
     returned: Cell<u64>,
+    timed_out: Cell<u64>,
     payload_bytes: Cell<u64>,
 }
 
@@ -127,6 +131,7 @@ impl FnXExecutor {
         let mut route = BTreeMap::new();
         let mut pools = Vec::new();
         let mut connectivity = Vec::new();
+        let mut retries = Vec::new();
         let mut pool_streams = Vec::new();
         for (i, ep) in endpoints.into_iter().enumerate() {
             for topic in &ep.topics {
@@ -134,6 +139,7 @@ impl FnXExecutor {
                 assert!(prev.is_none(), "topic {topic} routed to two endpoints");
             }
             let (pool_res_tx, pool_res_rx) = channel::<TaskResult>();
+            retries.push(ep.pool.retry.clone());
             let pool =
                 WorkerPool::spawn(sim, ep.pool, pool_res_tx, &rng.substream(i as u64), tracer.clone());
             pools.push(pool);
@@ -147,9 +153,12 @@ impl FnXExecutor {
             route,
             pools,
             connectivity,
+            retries,
             results,
+            tracer,
             submitted: Cell::new(0),
             returned: Cell::new(0),
+            timed_out: Cell::new(0),
             payload_bytes: Cell::new(0),
         });
         // One return-path actor per endpoint.
@@ -187,7 +196,49 @@ impl FnXExecutor {
         self.inner.payload_bytes.get()
     }
 
+    /// Tasks failed by the delivery deadline (`RetryPolicy::timeout`).
+    pub fn timed_out(&self) -> u64 {
+        self.inner.timed_out.get()
+    }
+
+    /// Races the delivery against the topic's `RetryPolicy::timeout`.
+    /// A task stuck in the cloud past its deadline (e.g. behind an
+    /// endpoint outage) fails with `TaskError::Timeout` instead of
+    /// waiting forever; the failure rides the normal result channel.
     async fn deliver(inner: Rc<Inner>, task: TaskSpec, endpoint: usize) {
+        let deadline = inner.retries[endpoint].policy_for(&task.topic).timeout;
+        let Some(deadline) = deadline else {
+            Self::deliver_inner(inner, task, endpoint).await;
+            return;
+        };
+        let id = task.id;
+        let topic = task.topic.clone();
+        let mut timing = task.timing;
+        let input_bytes = task.args.iter().map(Arg::data_bytes).sum();
+        let attempt = Box::pin(Self::deliver_inner(Rc::clone(&inner), task, endpoint));
+        if inner.sim.timeout(deadline, attempt).await.is_err() {
+            let now = inner.sim.now();
+            let actor = format!("fnx/ep{endpoint}");
+            inner.tracer.emit(now, &actor, kinds::TASK_TIMEOUT, id, deadline.as_secs_f64());
+            timing.server_result_received = Some(now);
+            inner.timed_out.set(inner.timed_out.get() + 1);
+            inner.returned.set(inner.returned.get() + 1);
+            let result = TaskResult {
+                id,
+                topic,
+                output: Arg::inline((), 0),
+                input_bytes,
+                report: WorkerReport::default(),
+                timing,
+                site: inner.pools[endpoint].site(),
+                worker: actor,
+                outcome: TaskOutcome::Failed(TaskError::Timeout { after: deadline }),
+            };
+            let _ = inner.results.send_now(result);
+        }
+    }
+
+    async fn deliver_inner(inner: Rc<Inner>, task: TaskSpec, endpoint: usize) {
         let bytes = task.wire_bytes();
         // Cloud stores the payload, forwards the invocation, endpoint
         // fetches the payload. While the endpoint is offline the cloud
@@ -237,6 +288,7 @@ impl Fabric for FnXExecutor {
             let &endpoint = inner
                 .route
                 .get(&task.topic)
+                // hetlint: allow(r5) — unrouted topic is a deployment wiring bug, not a runtime fault
                 .unwrap_or_else(|| panic!("no endpoint registered for topic {}", task.topic));
             task.timing.dispatched = Some(inner.sim.now());
             // The client pays the HTTPS round trip; the rest of the
@@ -387,6 +439,52 @@ mod tests {
         // Full serial execution would take > 4×(0.1+0.04+0.05+0.04+…);
         // ensure we finish well under that.
         assert!(r.end.as_secs_f64() < 1.2, "end {}", r.end);
+    }
+
+    #[test]
+    fn delivery_timeout_fails_tasks_stuck_behind_outage() {
+        let sim = Sim::new();
+        let (res_tx, res_rx) = channel();
+        let mut pool = WorkerPoolConfig::bare(SiteId(0), "theta", 1);
+        pool.retry = RetryPolicies::default().with_topic(
+            "noop",
+            crate::reliability::RetryPolicy {
+                timeout: Some(std::time::Duration::from_secs(30)),
+                ..Default::default()
+            },
+        );
+        let connectivity = crate::reliability::Connectivity::always_on();
+        connectivity.set_online(false); // offline before any delivery
+        let tracer = Tracer::enabled();
+        let exec = FnXExecutor::new(
+            &sim,
+            fixed_params(),
+            vec![EndpointSpec { pool, topics: vec!["noop"], connectivity }],
+            res_tx,
+            SimRng::from_seed(5),
+            tracer.clone(),
+        );
+        let e = exec.clone();
+        sim.spawn(async move {
+            e.submit(TaskSpec::noop(3, 1_000)).await;
+        });
+        let r = sim.run();
+        let results = res_rx.drain_now();
+        assert_eq!(results.len(), 1);
+        let res = &results[0];
+        assert!(res.is_failed());
+        assert_eq!(
+            res.outcome.error(),
+            Some(&TaskError::Timeout { after: std::time::Duration::from_secs(30) })
+        );
+        assert_eq!(res.id, 3);
+        assert!(res.timing.worker_started.is_none(), "task never reached a worker");
+        assert_eq!(exec.timed_out(), 1);
+        assert_eq!(exec.returned(), 1);
+        assert_eq!(tracer.events_of_kind(kinds::TASK_TIMEOUT).len(), 1);
+        // The deadline — not the (never-ending) outage — bounds the run:
+        // 0.1 s HTTPS + 30 s deadline.
+        assert!(r.end.as_secs_f64() < 31.0, "end {}", r.end);
     }
 
     #[test]

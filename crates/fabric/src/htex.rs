@@ -15,9 +15,10 @@
 //! payloads remain feasible, merely slow (Fig. 6).
 
 use crate::fabric::Fabric;
-use crate::task::{TaskResult, TaskSpec};
+use crate::reliability::RetryPolicies;
+use crate::task::{Arg, TaskError, TaskOutcome, TaskResult, TaskSpec, WorkerReport};
 use crate::worker::{WorkerPool, WorkerPoolConfig};
-use hetflow_sim::{channel, Dist, Sender, Sim, SimRng, Tracer};
+use hetflow_sim::{channel, trace_kinds as kinds, Dist, Sender, Sim, SimRng, Tracer};
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::future::Future;
@@ -81,9 +82,12 @@ struct Inner {
     route: BTreeMap<String, usize>,
     pools: Vec<WorkerPool>,
     links: Vec<LinkParams>,
+    retries: Vec<RetryPolicies>,
     results: Sender<TaskResult>,
+    tracer: Tracer,
     submitted: Cell<u64>,
     returned: Cell<u64>,
+    timed_out: Cell<u64>,
     link_bytes: Cell<u64>,
 }
 
@@ -106,6 +110,7 @@ impl HtexExecutor {
         let mut route = BTreeMap::new();
         let mut pools = Vec::new();
         let mut links = Vec::new();
+        let mut retries = Vec::new();
         let mut pool_streams = Vec::new();
         for (i, ep) in endpoints.into_iter().enumerate() {
             for topic in &ep.topics {
@@ -113,6 +118,7 @@ impl HtexExecutor {
                 assert!(prev.is_none(), "topic {topic} routed to two endpoints");
             }
             let (pool_res_tx, pool_res_rx) = channel::<TaskResult>();
+            retries.push(ep.pool.retry.clone());
             let pool = WorkerPool::spawn(
                 sim,
                 ep.pool,
@@ -131,9 +137,12 @@ impl HtexExecutor {
             route,
             pools,
             links,
+            retries,
             results,
+            tracer,
             submitted: Cell::new(0),
             returned: Cell::new(0),
+            timed_out: Cell::new(0),
             link_bytes: Cell::new(0),
         });
         for (i, rx) in pool_streams.into_iter().enumerate() {
@@ -170,13 +179,54 @@ impl HtexExecutor {
         self.inner.link_bytes.get()
     }
 
+    /// Tasks failed by the delivery deadline (`RetryPolicy::timeout`).
+    pub fn timed_out(&self) -> u64 {
+        self.inner.timed_out.get()
+    }
+
     fn link_cost(inner: &Inner, endpoint: usize, bytes: u64) -> std::time::Duration {
         let link = &inner.links[endpoint];
         let lat = link.latency.sample(&mut inner.rng.borrow_mut());
         hetflow_sim::time::secs(lat + bytes as f64 / link.bandwidth)
     }
 
+    /// Races the link transfer against the topic's
+    /// `RetryPolicy::timeout`, mirroring the FnX fabric: an undeliverable
+    /// task fails with `TaskError::Timeout` through the result channel.
     async fn deliver(inner: Rc<Inner>, task: TaskSpec, endpoint: usize) {
+        let deadline = inner.retries[endpoint].policy_for(&task.topic).timeout;
+        let Some(deadline) = deadline else {
+            Self::deliver_inner(inner, task, endpoint).await;
+            return;
+        };
+        let id = task.id;
+        let topic = task.topic.clone();
+        let mut timing = task.timing;
+        let input_bytes = task.args.iter().map(Arg::data_bytes).sum();
+        let attempt = Box::pin(Self::deliver_inner(Rc::clone(&inner), task, endpoint));
+        if inner.sim.timeout(deadline, attempt).await.is_err() {
+            let now = inner.sim.now();
+            let actor = format!("htex/ep{endpoint}");
+            inner.tracer.emit(now, &actor, kinds::TASK_TIMEOUT, id, deadline.as_secs_f64());
+            timing.server_result_received = Some(now);
+            inner.timed_out.set(inner.timed_out.get() + 1);
+            inner.returned.set(inner.returned.get() + 1);
+            let result = TaskResult {
+                id,
+                topic,
+                output: Arg::inline((), 0),
+                input_bytes,
+                report: WorkerReport::default(),
+                timing,
+                site: inner.pools[endpoint].site(),
+                worker: actor,
+                outcome: TaskOutcome::Failed(TaskError::Timeout { after: deadline }),
+            };
+            let _ = inner.results.send_now(result);
+        }
+    }
+
+    async fn deliver_inner(inner: Rc<Inner>, task: TaskSpec, endpoint: usize) {
         let bytes = task.wire_bytes();
         let cost = Self::link_cost(&inner, endpoint, bytes);
         inner.sim.sleep(cost).await;
@@ -204,6 +254,7 @@ impl Fabric for HtexExecutor {
             let &endpoint = inner
                 .route
                 .get(&task.topic)
+                // hetlint: allow(r5) — unrouted topic is a deployment wiring bug, not a runtime fault
                 .unwrap_or_else(|| panic!("no endpoint registered for topic {}", task.topic));
             task.timing.dispatched = Some(inner.sim.now());
             // The client pays the hop to the interchange plus the

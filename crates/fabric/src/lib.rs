@@ -56,10 +56,10 @@ pub use fabric::Fabric;
 pub use faas::{EndpointSpec, FnXExecutor, FnXParams};
 pub use htex::{HtexEndpoint, HtexExecutor, HtexParams, LinkParams};
 pub use provision::{ProvisionReport, ProvisionSpec, Provisioner};
-pub use reliability::{Connectivity, FailureModel};
+pub use reliability::{Connectivity, FailureModel, RetryPolicies, RetryPolicy};
 pub use ser::SerModel;
 pub use task::{
-    Arg, TaskCtx, TaskFn, TaskId, TaskResult, TaskSpec, TaskTiming, TaskWork, WorkerReport,
-    TASK_ENVELOPE_BYTES,
+    Arg, TaskCtx, TaskError, TaskFn, TaskId, TaskOutcome, TaskResult, TaskSpec, TaskTiming,
+    TaskWork, WorkerReport, TASK_ENVELOPE_BYTES,
 };
 pub use worker::{WorkerPool, WorkerPoolConfig};

@@ -11,6 +11,7 @@
 
 use hetflow_sim::{Dist, Event, Sim, SimRng, SimTime};
 use std::cell::Cell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -109,8 +110,11 @@ pub struct FailureModel {
     pub waste_fraction: f64,
     /// Detection + restart delay.
     pub restart_delay: Dist,
-    /// Attempts before giving up (panics beyond — campaigns treat
-    /// unrecoverable tasks as configuration errors).
+    /// Attempts before giving up. Exhausting them is a normal,
+    /// reportable outcome: the task fails with
+    /// `TaskError::ExhaustedRetries` and the failure travels the result
+    /// path back to the thinker. A per-topic
+    /// [`RetryPolicy::max_attempts`] overrides this cap when nonzero.
     pub max_attempts: u32,
 }
 
@@ -130,6 +134,74 @@ impl FailureModel {
         let frac = rng.unit() * self.waste_fraction.clamp(0.0, 1.0);
         let waste = compute.mul_f64(frac);
         waste + self.restart_delay.sample_secs(rng)
+    }
+}
+
+/// How failures of one task topic are handled: how many execution
+/// attempts a worker makes, how long the fabric waits for delivery
+/// before declaring a timeout, and how long a worker backs off between
+/// attempts.
+///
+/// The zero values are "defer": `max_attempts == 0` defers to the
+/// pool's [`FailureModel::max_attempts`], `timeout == None` means no
+/// deadline, and the default backoff `Dist::Constant(0.0)` draws no
+/// random numbers — so the default policy leaves existing same-seed
+/// traces bit-identical.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Execution attempts before the task fails with
+    /// `ExhaustedRetries`. `0` defers to the failure model's cap.
+    pub max_attempts: u32,
+    /// Deadline for the fabric to deliver the task to its endpoint's
+    /// worker pool — the cloud-transit leg, including any time spent
+    /// held behind an endpoint outage. A task stuck longer than this
+    /// fails with `TaskError::Timeout` instead of waiting forever.
+    /// Execution and the result's return trip are not covered: once a
+    /// worker has the task, it runs.
+    pub timeout: Option<Duration>,
+    /// Delay a worker inserts before each re-execution attempt (on top
+    /// of the failure model's wasted time).
+    pub backoff: Dist,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 0, timeout: None, backoff: Dist::Constant(0.0) }
+    }
+}
+
+impl RetryPolicy {
+    /// The attempt cap in effect given the pool's failure model.
+    pub fn effective_max_attempts(&self, fm: &FailureModel) -> u32 {
+        if self.max_attempts > 0 {
+            self.max_attempts
+        } else {
+            fm.max_attempts
+        }
+    }
+}
+
+/// Per-topic retry policies with a fallback default, configurable on
+/// `WorkerPoolConfig` (worker-side attempts/backoff) and consulted by
+/// the fabrics (delivery timeouts).
+#[derive(Clone, Debug, Default)]
+pub struct RetryPolicies {
+    /// Policy for topics without a dedicated entry.
+    pub default: RetryPolicy,
+    /// Topic-specific overrides.
+    pub per_topic: BTreeMap<String, RetryPolicy>,
+}
+
+impl RetryPolicies {
+    /// Builder: sets the policy for one topic.
+    pub fn with_topic(mut self, topic: impl Into<String>, policy: RetryPolicy) -> Self {
+        self.per_topic.insert(topic.into(), policy);
+        self
+    }
+
+    /// The policy governing `topic`.
+    pub fn policy_for(&self, topic: &str) -> &RetryPolicy {
+        self.per_topic.get(topic).unwrap_or(&self.default)
     }
 }
 
@@ -235,5 +307,24 @@ mod tests {
         let wasted = m.wasted(Duration::from_secs(100), &mut rng);
         assert!(wasted >= Duration::from_secs(1));
         assert!(wasted <= Duration::from_secs(51));
+    }
+
+    #[test]
+    fn retry_policies_resolve_per_topic() {
+        let policies = RetryPolicies::default().with_topic(
+            "train",
+            RetryPolicy { max_attempts: 3, ..RetryPolicy::default() },
+        );
+        assert_eq!(policies.policy_for("train").max_attempts, 3);
+        assert_eq!(policies.policy_for("simulate").max_attempts, 0);
+        let fm = FailureModel {
+            prob: 0.1,
+            waste_fraction: 0.5,
+            restart_delay: Dist::Constant(1.0),
+            max_attempts: 7,
+        };
+        assert_eq!(policies.policy_for("train").effective_max_attempts(&fm), 3);
+        assert_eq!(policies.policy_for("simulate").effective_max_attempts(&fm), 7);
+        assert!(policies.policy_for("simulate").timeout.is_none());
     }
 }

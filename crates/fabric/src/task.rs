@@ -20,6 +20,86 @@ use std::time::Duration;
 /// Unique task identifier within a run.
 pub type TaskId = u64;
 
+/// Why a task failed. Failures are normal, reportable outcomes — they
+/// travel the result path like successes and reach the thinker as
+/// records, mirroring how funcX/Colmena surface task exceptions to the
+/// steering loop instead of aborting the campaign.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TaskError {
+    /// Every execution attempt failed; `attempts` were made.
+    ExhaustedRetries {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The task did not reach a worker (or finish) within its deadline —
+    /// e.g. it was stuck behind an endpoint outage.
+    Timeout {
+        /// The deadline that elapsed.
+        after: Duration,
+    },
+    /// A proxied input could not be resolved on the worker.
+    ResolveFailed(String),
+    /// The result (or an input) could not be placed in its store.
+    PutFailed(String),
+}
+
+impl TaskError {
+    /// Stable short label, used as a tracer event payload and in
+    /// report bins.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TaskError::ExhaustedRetries { .. } => "exhausted_retries",
+            TaskError::Timeout { .. } => "timeout",
+            TaskError::ResolveFailed(_) => "resolve_failed",
+            TaskError::PutFailed(_) => "put_failed",
+        }
+    }
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::ExhaustedRetries { attempts } => {
+                write!(f, "exhausted {attempts} execution attempts")
+            }
+            TaskError::Timeout { after } => {
+                write!(f, "timed out after {:.1}s", after.as_secs_f64())
+            }
+            TaskError::ResolveFailed(e) => write!(f, "input resolve failed: {e}"),
+            TaskError::PutFailed(e) => write!(f, "store put failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// How a task ended.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum TaskOutcome {
+    /// The compute closure ran and produced its output.
+    #[default]
+    Success,
+    /// The task failed; the result carries a placeholder output and the
+    /// error. Timing/report fields still describe what actually happened
+    /// (attempts made, time wasted) so failure-path accounting adds up.
+    Failed(TaskError),
+}
+
+impl TaskOutcome {
+    /// True for failed outcomes.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, TaskOutcome::Failed(_))
+    }
+
+    /// The error, if failed.
+    pub fn error(&self) -> Option<&TaskError> {
+        match self {
+            TaskOutcome::Success => None,
+            TaskOutcome::Failed(e) => Some(e),
+        }
+    }
+}
+
 /// Fixed wire overhead of a task envelope (serialized function body,
 /// metadata, headers) in bytes.
 pub const TASK_ENVELOPE_BYTES: u64 = 1_000;
@@ -82,6 +162,9 @@ pub struct WorkerReport {
     /// Execution attempts (1 = no failures; >1 means the worker retried
     /// after injected failures).
     pub attempts: u32,
+    /// Time lost to failed attempts (partial compute + restart delays +
+    /// retry backoff). Zero for clean executions.
+    pub wasted_time: Duration,
 }
 
 /// Execution context handed to a task's compute closure.
@@ -100,6 +183,7 @@ impl TaskCtx<'_> {
     pub fn input<T: 'static>(&self, i: usize) -> Rc<T> {
         Rc::clone(&self.inputs[i])
             .downcast::<T>()
+            // hetlint: allow(r5) — type mismatch is a task wiring bug, not a runtime fault
             .unwrap_or_else(|_| panic!("task input {i} has unexpected type"))
     }
 }
@@ -229,6 +313,10 @@ pub struct TaskSpec {
     pub ser_time: Duration,
     /// Life-cycle stamps.
     pub timing: TaskTiming,
+    /// Set when the task was poisoned before reaching a worker (e.g. a
+    /// submit-side proxy put failed). The worker short-circuits: no
+    /// resolve, no compute — the error rides the normal result path.
+    pub failed: Option<TaskError>,
 }
 
 impl std::fmt::Debug for TaskSpec {
@@ -252,6 +340,7 @@ impl TaskSpec {
             compute,
             ser_time: Duration::ZERO,
             timing: TaskTiming::default(),
+            failed: None,
         }
     }
 
@@ -290,6 +379,9 @@ pub struct TaskResult {
     pub site: SiteId,
     /// Worker label, e.g. `"theta/3"`.
     pub worker: String,
+    /// Whether the task succeeded or failed. Failed results carry a
+    /// zero-byte placeholder output.
+    pub outcome: TaskOutcome,
 }
 
 impl std::fmt::Debug for TaskResult {
@@ -307,6 +399,11 @@ impl TaskResult {
     /// Wire size of the result envelope.
     pub fn wire_bytes(&self) -> u64 {
         TASK_ENVELOPE_BYTES + self.output.wire_bytes()
+    }
+
+    /// True when the task failed (see [`TaskOutcome`]).
+    pub fn is_failed(&self) -> bool {
+        self.outcome.is_failed()
     }
 }
 

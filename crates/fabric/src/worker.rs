@@ -10,13 +10,16 @@
 //! Per-worker idle gaps between consecutive tasks are recorded — this is
 //! the "CPU idle time between simulation tasks" metric of Fig. 6b.
 
-use crate::reliability::FailureModel;
+use crate::reliability::{FailureModel, RetryPolicies};
 use crate::ser::SerModel;
-use crate::task::{Arg, TaskCtx, TaskResult, TaskSpec, WorkerReport};
+use crate::task::{Arg, TaskCtx, TaskError, TaskOutcome, TaskResult, TaskSpec, WorkerReport};
 use hetflow_store::{ProxyPolicy, SiteId};
-use hetflow_sim::{channel, Dist, Gauge, Receiver, Samples, Sender, Sim, SimRng, Tracer};
+use hetflow_sim::{
+    channel, trace_kinds as kinds, Dist, Gauge, Receiver, Samples, Sender, Sim, SimRng, Tracer,
+};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::time::Duration;
 
 /// Configuration of one worker pool.
 #[derive(Clone)]
@@ -35,6 +38,9 @@ pub struct WorkerPoolConfig {
     pub local_hop: Dist,
     /// Optional failure injection (`None` = reliable workers).
     pub failure: Option<FailureModel>,
+    /// Per-topic retry/backoff policies (attempt caps override the
+    /// failure model's; backoff delays re-execution).
+    pub retry: RetryPolicies,
     /// Per-worker start delays (batch-scheduler ramp-up, from
     /// [`crate::provision::ProvisionSpec::worker_delays`]). Empty = all
     /// workers online at t=0. Indexed modulo its length.
@@ -52,6 +58,7 @@ impl WorkerPoolConfig {
             ser: SerModel::free(),
             local_hop: Dist::Constant(0.0),
             failure: None,
+            retry: RetryPolicies::default(),
             start_delays: Vec::new(),
         }
     }
@@ -61,6 +68,7 @@ struct PoolShared {
     idle: RefCell<Samples>,
     busy: RefCell<Gauge>,
     completed: std::cell::Cell<u64>,
+    failed: std::cell::Cell<u64>,
 }
 
 /// Handle to a running worker pool.
@@ -89,6 +97,7 @@ impl WorkerPool {
             idle: RefCell::new(Samples::new()),
             busy: RefCell::new(Gauge::new()),
             completed: std::cell::Cell::new(0),
+            failed: std::cell::Cell::new(0),
         });
         for i in 0..config.workers {
             let worker_rng = rng.substream(i as u64);
@@ -130,6 +139,12 @@ impl WorkerPool {
     /// Tasks completed so far.
     pub fn completed(&self) -> u64 {
         self.shared.completed.get()
+    }
+
+    /// Tasks that ended in a terminal failure (still delivered as
+    /// results, not counted in [`WorkerPool::completed`]).
+    pub fn failed(&self) -> u64 {
+        self.shared.failed.get()
     }
 
     /// Idle-gap samples (seconds between finishing one task and starting
@@ -175,7 +190,7 @@ fn spawn_worker(
             }
             shared.busy.borrow_mut().inc(started);
             task.timing.worker_started = Some(started);
-            tracer.emit(started, &name, "task_started", task.id, config.site.index() as f64);
+            tracer.emit(started, &name, kinds::TASK_STARTED, task.id, config.site.index() as f64);
 
             let mut report = WorkerReport::default();
             // Upstream (thinker + server) serialization, including
@@ -187,84 +202,125 @@ fn spawn_worker(
             report.ser_time += de;
             sim.sleep(de).await;
 
-            // Resolve inputs.
+            // A task poisoned upstream (e.g. a submit-side proxy put
+            // failed) short-circuits: no resolve, no compute.
+            let mut failed: Option<TaskError> = task.failed.take();
+
+            // Resolve inputs. A resolve error fails the task instead of
+            // tearing down the simulation.
             let mut inputs: Vec<Rc<dyn std::any::Any>> = Vec::with_capacity(task.args.len());
-            for arg in &task.args {
-                match arg {
-                    Arg::Inline { value, .. } => inputs.push(Rc::clone(value)),
-                    Arg::Proxied(p) => {
-                        let resolved = p
-                            .resolve(config.site)
-                            .await
-                            .unwrap_or_else(|e| panic!("worker {name}: resolve failed: {e}"));
-                        report.resolve_wait += resolved.wait;
-                        if resolved.was_local {
-                            report.local_inputs += 1;
-                        } else {
-                            report.remote_inputs += 1;
-                        }
-                        inputs.push(resolved.value);
+            if failed.is_none() {
+                for arg in &task.args {
+                    match arg {
+                        Arg::Inline { value, .. } => inputs.push(Rc::clone(value)),
+                        Arg::Proxied(p) => match p.resolve(config.site).await {
+                            Ok(resolved) => {
+                                report.resolve_wait += resolved.wait;
+                                if resolved.was_local {
+                                    report.local_inputs += 1;
+                                } else {
+                                    report.remote_inputs += 1;
+                                }
+                                inputs.push(resolved.value);
+                            }
+                            Err(e) => {
+                                failed = Some(TaskError::ResolveFailed(e.to_string()));
+                                break;
+                            }
+                        },
                     }
                 }
             }
             task.timing.inputs_resolved = Some(sim.now());
 
-            // Compute.
-            let work = {
-                let mut ctx = TaskCtx { inputs, rng: &mut rng, site: config.site };
-                (task.compute)(&mut ctx)
-            };
-            report.compute_time = work.compute_time;
-            // Failure injection: failed attempts waste part of the
-            // compute time plus a restart delay, then re-execute.
             let mut attempts = 1u32;
-            if let Some(fm) = &config.failure {
-                while fm.attempt_fails(&mut rng) {
-                    assert!(
-                        attempts < fm.max_attempts,
-                        "worker {name}: task {} exhausted {} attempts",
-                        task.id,
-                        fm.max_attempts
-                    );
-                    let wasted = fm.wasted(work.compute_time, &mut rng);
-                    sim.sleep(wasted).await;
-                    attempts += 1;
-                    tracer.emit(sim.now(), &name, "task_retry", task.id, attempts as f64);
+            let mut output = Arg::inline((), 0);
+            if failed.is_none() {
+                // Compute.
+                let work = {
+                    let mut ctx = TaskCtx { inputs, rng: &mut rng, site: config.site };
+                    (task.compute)(&mut ctx)
+                };
+                // Failure injection: failed attempts waste part of the
+                // compute time plus a restart delay, then re-execute
+                // after the policy's backoff — until the attempt cap is
+                // exhausted, which fails the task gracefully.
+                let policy = config.retry.policy_for(&task.topic);
+                if let Some(fm) = &config.failure {
+                    let cap = policy.effective_max_attempts(fm).max(1);
+                    while fm.attempt_fails(&mut rng) {
+                        let wasted = fm.wasted(work.compute_time, &mut rng);
+                        report.wasted_time += wasted;
+                        sim.sleep(wasted).await;
+                        if attempts >= cap {
+                            failed = Some(TaskError::ExhaustedRetries { attempts });
+                            break;
+                        }
+                        let backoff = policy.backoff.sample_secs(&mut rng);
+                        if backoff > Duration::ZERO {
+                            report.wasted_time += backoff;
+                            sim.sleep(backoff).await;
+                        }
+                        attempts += 1;
+                        tracer.emit(sim.now(), &name, kinds::TASK_RETRY, task.id, attempts as f64);
+                    }
+                }
+                if failed.is_none() {
+                    report.compute_time = work.compute_time;
+                    sim.sleep(work.compute_time).await;
+                    task.timing.compute_finished = Some(sim.now());
+
+                    // Result: proxy if the policy says so, else inline.
+                    // A put error fails the task, not the process.
+                    output = match config.result_policy.decide(&task.topic, work.output_size) {
+                        Some(store) => {
+                            match store.put_raw(work.output, work.output_size, config.site).await {
+                                Ok(key) => Arg::Proxied(hetflow_store::UntypedProxy::new(
+                                    store.clone(),
+                                    key,
+                                    work.output_size,
+                                )),
+                                Err(e) => {
+                                    failed = Some(TaskError::PutFailed(e.to_string()));
+                                    Arg::inline((), 0)
+                                }
+                            }
+                        }
+                        None => Arg::Inline { bytes: work.output_size, value: work.output },
+                    };
                 }
             }
             report.attempts = attempts;
-            sim.sleep(work.compute_time).await;
-            task.timing.compute_finished = Some(sim.now());
 
-            // Result: proxy if the policy says so, else inline.
-            let output = match config.result_policy.decide(&task.topic, work.output_size) {
-                Some(store) => {
-                    let key = store
-                        .put_raw(work.output, work.output_size, config.site)
-                        .await
-                        .unwrap_or_else(|e| panic!("worker {name}: result put failed: {e}"));
-                    Arg::Proxied(hetflow_store::UntypedProxy::new(
-                        store.clone(),
-                        key,
-                        work.output_size,
-                    ))
-                }
-                None => Arg::Inline { bytes: work.output_size, value: work.output },
-            };
-
-            // Serialize the result envelope.
+            // Serialize the result envelope (failed results still carry
+            // an envelope back — the error is a payload like any other).
             let ser = config.ser.cost(&mut rng, output.wire_bytes());
             report.ser_time += ser;
             sim.sleep(ser).await;
 
             let finished = sim.now();
             task.timing.result_dispatched = Some(finished);
-            tracer.emit(finished, &name, "task_finished", task.id, config.site.index() as f64);
+            if failed.is_none() {
+                tracer.emit(
+                    finished,
+                    &name,
+                    kinds::TASK_FINISHED,
+                    task.id,
+                    config.site.index() as f64,
+                );
+                shared.completed.set(shared.completed.get() + 1);
+            } else {
+                tracer.emit(finished, &name, kinds::TASK_FAILED, task.id, attempts as f64);
+                shared.failed.set(shared.failed.get() + 1);
+            }
             shared.busy.borrow_mut().dec(finished);
-            shared.completed.set(shared.completed.get() + 1);
             last_finish = Some(finished);
 
             let input_bytes = task.args.iter().map(Arg::data_bytes).sum();
+            let outcome = match failed {
+                None => TaskOutcome::Success,
+                Some(err) => TaskOutcome::Failed(err),
+            };
             let result = TaskResult {
                 id: task.id,
                 topic: task.topic.clone(),
@@ -274,6 +330,7 @@ fn spawn_worker(
                 timing: task.timing,
                 site: config.site,
                 worker: name.clone(),
+                outcome,
             };
             if results.send_now(result).is_err() {
                 break; // experiment torn down
@@ -476,6 +533,93 @@ mod tests {
         let last_activity = busy.series().points().last().unwrap().0;
         assert_eq!(last_activity, SimTime::from_secs(20));
         assert_eq!(sim.now(), SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn exhausted_retries_produce_failed_result() {
+        let sim = Sim::new();
+        let (res_tx, res_rx) = channel();
+        let mut config = WorkerPoolConfig::bare(SITE, "w", 1);
+        config.failure = Some(FailureModel {
+            prob: 1.0, // every attempt fails: exhaustion is certain
+            waste_fraction: 0.0,
+            restart_delay: Dist::Constant(1.0),
+            max_attempts: 3,
+        });
+        config.retry.default.backoff = Dist::Constant(2.0);
+        let tracer = Tracer::enabled();
+        let pool =
+            WorkerPool::spawn(&sim, config, res_tx, &SimRng::from_seed(1), tracer.clone());
+        pool.tasks
+            .send_now(TaskSpec::new(
+                0,
+                "unit",
+                vec![],
+                Rc::new(|_| TaskWork::new((), 100, Duration::from_secs(10))),
+            ))
+            .unwrap();
+        let r = sim.run();
+        let results = res_rx.drain_now();
+        assert_eq!(results.len(), 1);
+        let res = &results[0];
+        assert!(res.is_failed());
+        assert_eq!(
+            res.outcome.error(),
+            Some(&TaskError::ExhaustedRetries { attempts: 3 })
+        );
+        assert_eq!(res.report.attempts, 3);
+        // 3 restart delays (1 s) + 2 backoffs (2 s); no compute happens.
+        assert_eq!(res.report.wasted_time, Duration::from_secs(7));
+        assert_eq!(res.report.compute_time, Duration::ZERO);
+        assert!(res.timing.compute_finished.is_none());
+        assert_eq!(r.end, SimTime::from_secs(7));
+        assert_eq!(pool.failed(), 1);
+        assert_eq!(pool.completed(), 0);
+        assert_eq!(tracer.events_of_kind(kinds::TASK_FAILED).len(), 1);
+        assert_eq!(tracer.events_of_kind(kinds::TASK_RETRY).len(), 2);
+        assert!(tracer.events_of_kind(kinds::TASK_FINISHED).is_empty());
+    }
+
+    #[test]
+    fn per_topic_retry_cap_overrides_failure_model() {
+        let sim = Sim::new();
+        let (res_tx, res_rx) = channel();
+        let mut config = WorkerPoolConfig::bare(SITE, "w", 1);
+        config.failure = Some(FailureModel {
+            prob: 1.0,
+            waste_fraction: 0.0,
+            restart_delay: Dist::Constant(1.0),
+            max_attempts: 10,
+        });
+        config.retry = RetryPolicies::default().with_topic(
+            "unit",
+            crate::reliability::RetryPolicy {
+                max_attempts: 2,
+                ..Default::default()
+            },
+        );
+        let pool = WorkerPool::spawn(
+            &sim,
+            config,
+            res_tx,
+            &SimRng::from_seed(1),
+            Tracer::disabled(),
+        );
+        pool.tasks
+            .send_now(TaskSpec::new(
+                0,
+                "unit",
+                vec![],
+                Rc::new(|_| TaskWork::new((), 100, Duration::from_secs(10))),
+            ))
+            .unwrap();
+        sim.run();
+        let results = res_rx.drain_now();
+        assert_eq!(
+            results[0].outcome.error(),
+            Some(&TaskError::ExhaustedRetries { attempts: 2 }),
+            "the topic's cap of 2, not the model's 10, must apply"
+        );
     }
 
     #[test]

@@ -60,7 +60,8 @@ fn print_report(report: &Report) {
             if count > budget {
                 println!(
                     "  crate `{name}`: {count}/{budget} OVER BUDGET; convert to Result \
-                     plumbing or annotate with `hetlint: allow(r5) — <why>`"
+                     plumbing / the typed task-failure path, or annotate an invariant \
+                     abort with `hetlint: allow(r5) — <why>`"
                 );
             } else {
                 println!("  crate `{name}`: {count}/{budget}");

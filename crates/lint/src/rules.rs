@@ -27,7 +27,10 @@ pub fn check_file(ctx: &FileContext, prepared: &Prepared) -> Vec<Violation> {
     out
 }
 
-/// Counts `.unwrap()` / `.expect(` sites in library code (R5 inputs).
+/// Counts `.unwrap()` / `.expect(` / `panic!(` sites in library code
+/// (R5 inputs). Explicit panics count the same as unwraps: both abort a
+/// campaign instead of traveling the typed failure path
+/// (`TaskOutcome::Failed`), so both are rationed by the same ratchet.
 ///
 /// Only lines before the file's `#[cfg(test)]` marker count — the
 /// convention in this workspace is a single trailing test module per
@@ -45,7 +48,9 @@ pub fn count_unwraps(ctx: &FileContext, prepared: &Prepared) -> Vec<usize> {
         if crate::scan::is_suppressed(prepared, "r5", line_no) {
             continue;
         }
-        let hits = line.code.matches(".unwrap()").count() + line.code.matches(".expect(").count();
+        let hits = line.code.matches(".unwrap()").count()
+            + line.code.matches(".expect(").count()
+            + line.code.matches("panic!(").count();
         for _ in 0..hits {
             sites.push(line_no);
         }

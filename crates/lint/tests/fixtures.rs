@@ -97,9 +97,9 @@ fn r4_exempts_the_ml_crate() {
 #[test]
 fn r5_counts_library_sites_minus_annotations_and_tests() {
     let report = lint_sim(include_str!("fixtures/r5_budget.rs"));
-    // Two countable sites: the annotated one and the two inside
-    // #[cfg(test)] are excluded.
-    assert_eq!(report.unwrap_sites.len(), 2, "{:?}", report.unwrap_sites);
+    // Three countable sites (two unwrap/expect, one panic!): the
+    // annotated one and the two inside #[cfg(test)] are excluded.
+    assert_eq!(report.unwrap_sites.len(), 3, "{:?}", report.unwrap_sites);
 }
 
 #[test]

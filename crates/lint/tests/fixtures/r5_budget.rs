@@ -1,11 +1,14 @@
-//! R5 fixture: three library unwraps, one annotated away, plus test-only
-//! unwraps that never count.
+//! R5 fixture: three library unwraps and an explicit panic, one
+//! annotated away, plus test-only unwraps that never count.
 
-fn two_sites(x: Option<u32>, y: Result<u32, E>) -> u32 {
+fn three_sites(x: Option<u32>, y: Result<u32, E>) -> u32 {
     let a = x.unwrap();
     let b = y.expect("calibration table is complete");
     // hetlint: allow(r5) — index is bounds-checked two lines above
     let c = TABLE.get(0).unwrap();
+    if a + b + c == 0 {
+        panic!("explicit panics count against the same budget");
+    }
     a + b + c
 }
 

@@ -315,6 +315,7 @@ impl Sim {
                 return v;
             }
             if !self.fire_next_timer() {
+                // hetlint: allow(r5) — executor deadlock detection must abort: the sim itself is wedged
                 panic!(
                     "simulation quiescent at {} with awaited task incomplete \
                      ({} tasks leaked)",

@@ -74,21 +74,33 @@ impl Samples {
     /// Quantile by linear interpolation between order statistics;
     /// `q` in `[0, 1]`. Returns 0 when empty.
     pub fn quantile(&self, q: f64) -> f64 {
+        self.quantiles(&[q])[0]
+    }
+
+    /// Several quantiles at once, sorting the samples a single time —
+    /// use this instead of repeated [`quantile`](Samples::quantile)
+    /// calls when printing percentile error bars. Each `q` is clamped
+    /// to `[0, 1]`; all results are 0 when empty.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<f64> {
         if self.values.is_empty() {
-            return 0.0;
+            return vec![0.0; qs.len()];
         }
-        let q = q.clamp(0.0, 1.0);
         let mut sorted = self.values.clone();
         sorted.sort_by(f64::total_cmp);
-        let pos = q * (sorted.len() - 1) as f64;
-        let lo = pos.floor() as usize;
-        let hi = pos.ceil() as usize;
-        if lo == hi {
-            sorted[lo]
-        } else {
-            let frac = pos - lo as f64;
-            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
-        }
+        qs.iter()
+            .map(|q| {
+                let q = q.clamp(0.0, 1.0);
+                let pos = q * (sorted.len() - 1) as f64;
+                let lo = pos.floor() as usize;
+                let hi = pos.ceil() as usize;
+                if lo == hi {
+                    sorted[lo]
+                } else {
+                    let frac = pos - lo as f64;
+                    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+                }
+            })
+            .collect()
     }
 
     /// The median (50th percentile).
@@ -315,6 +327,20 @@ mod tests {
         let q50 = s.quantile(0.5);
         let q60 = s.quantile(0.6);
         assert!(q40 <= q50 && q50 <= q60);
+    }
+
+    #[test]
+    fn quantiles_batch_matches_singles() {
+        let mut s = Samples::new();
+        for i in 0..100 {
+            s.record((i * 13 % 100) as f64);
+        }
+        let qs = [0.0, 0.25, 0.4, 0.5, 0.6, 0.75, 1.0];
+        let batch = s.quantiles(&qs);
+        for (&q, &b) in qs.iter().zip(&batch) {
+            assert_eq!(b, s.quantile(q), "q={q}");
+        }
+        assert_eq!(Samples::new().quantiles(&qs), vec![0.0; qs.len()]);
     }
 
     #[test]

@@ -8,6 +8,32 @@ use crate::time::SimTime;
 use std::cell::RefCell;
 use std::rc::Rc;
 
+/// Canonical event kinds emitted by the fabrics and the steering layer.
+///
+/// Using these constants (rather than ad-hoc string literals) keeps
+/// producers and trace consumers in sync; the failure-path kinds
+/// (`TASK_RETRY`, `TASK_FAILED`, `TASK_TIMEOUT`) are part of the
+/// graceful-degradation contract: a fault emits a trace event and a
+/// record, never a panic.
+pub mod kinds {
+    /// Thinker created a task.
+    pub const TASK_CREATED: &str = "task_created";
+    /// Worker began executing a task.
+    pub const TASK_STARTED: &str = "task_started";
+    /// A failed attempt; value = the attempt number about to run.
+    pub const TASK_RETRY: &str = "task_retry";
+    /// Worker finished a task successfully.
+    pub const TASK_FINISHED: &str = "task_finished";
+    /// Task failed terminally on the worker (exhausted retries,
+    /// resolve/put error); travels the result path as a failed record.
+    pub const TASK_FAILED: &str = "task_failed";
+    /// Task missed its delivery deadline (e.g. stuck behind an
+    /// endpoint outage) and was failed by the fabric.
+    pub const TASK_TIMEOUT: &str = "task_timeout";
+    /// Thinker received a result envelope.
+    pub const RESULT_RECEIVED: &str = "result_received";
+}
+
 /// One trace record: what happened, where, when, and to which entity.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TraceEvent {

@@ -142,6 +142,7 @@ mod tests {
             data_was_local: true,
             site,
             worker: "w".into(),
+            outcome: hetflow_fabric::TaskOutcome::Success,
         }
     }
 

@@ -5,7 +5,7 @@
 //! component medians/means; Fig. 5: notification + data wait; Fig. 7b:
 //! per-topic overheads).
 
-use hetflow_fabric::{TaskTiming, WorkerReport};
+use hetflow_fabric::{TaskOutcome, TaskTiming, WorkerReport};
 use hetflow_store::SiteId;
 use hetflow_sim::Samples;
 use std::time::Duration;
@@ -33,6 +33,16 @@ pub struct TaskRecord {
     pub site: SiteId,
     /// Worker label.
     pub worker: String,
+    /// How the task ended — failed tasks are records too, so the
+    /// steering loop can observe and react to them.
+    pub outcome: TaskOutcome,
+}
+
+impl TaskRecord {
+    /// True when the task failed.
+    pub fn is_failed(&self) -> bool {
+        self.outcome.is_failed()
+    }
 }
 
 /// Per-component latency statistics over a set of records.
@@ -60,8 +70,14 @@ pub struct Breakdown {
     pub overhead: Samples,
     /// Worker-side proxy resolve wait.
     pub resolve_wait: Samples,
+    /// Time lost to failed attempts and retry backoff (nonzero only
+    /// under failure injection) — the bin that makes failure-path
+    /// decompositions add up.
+    pub wasted: Samples,
     /// Number of records aggregated.
     pub count: usize,
+    /// Number of failed records among them.
+    pub failed: usize,
 }
 
 impl Breakdown {
@@ -92,6 +108,10 @@ impl Breakdown {
             push(&mut b.overhead, t.overhead());
             b.serialization.record(r.report.ser_time.as_secs_f64());
             b.resolve_wait.record(r.report.resolve_wait.as_secs_f64());
+            b.wasted.record(r.report.wasted_time.as_secs_f64());
+            if r.is_failed() {
+                b.failed += 1;
+            }
         }
         b
     }
@@ -169,6 +189,7 @@ mod tests {
                 local_inputs: 1,
                 remote_inputs: 0,
                 attempts: 1,
+                wasted_time: Duration::ZERO,
             },
             input_bytes: 2000,
             output_bytes: 1000,
@@ -176,6 +197,7 @@ mod tests {
             data_was_local: true,
             site: SiteId(0),
             worker: "w/0".into(),
+            outcome: TaskOutcome::Success,
         }
     }
 

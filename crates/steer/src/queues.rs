@@ -12,9 +12,11 @@
 //! improvements.
 
 use crate::lifecycle::TaskRecord;
-use hetflow_fabric::{Arg, Fabric, SerModel, TaskFn, TaskId, TaskResult, TaskSpec};
+use hetflow_fabric::{
+    Arg, Fabric, SerModel, TaskError, TaskFn, TaskId, TaskOutcome, TaskResult, TaskSpec,
+};
 use hetflow_store::{ProxyPolicy, SiteId, UntypedProxy};
-use hetflow_sim::{channel, Dist, Receiver, Sender, Sim, SimRng, Tracer};
+use hetflow_sim::{channel, trace_kinds as kinds, Dist, Receiver, Sender, Sim, SimRng, Tracer};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -144,24 +146,37 @@ impl ClientQueues {
         let id = shared.next_id.get();
         shared.next_id.set(id + 1);
         let created = sim.now();
-        shared.tracer.emit(created, "thinker", "task_created", id, 0.0);
+        shared.tracer.emit(created, "thinker", kinds::TASK_CREATED, id, 0.0);
 
         // Build args, proxying what the policy selects. The store put is
-        // part of "serialization time" in the paper's decomposition.
+        // part of "serialization time" in the paper's decomposition. A
+        // failed put poisons the task instead of panicking: it still
+        // travels the pipeline so the thinker gets a failed record with
+        // honest accounting.
         let proxy_start = sim.now();
         let mut args = Vec::with_capacity(payloads.len());
+        let mut poisoned: Option<TaskError> = None;
         for p in payloads {
             match p.inner {
                 PayloadInner::Proxied(proxy) => args.push(Arg::Proxied(proxy)),
                 PayloadInner::Value { value, bytes } => {
                     match shared.config.policy.decide(topic, bytes) {
-                        Some(store) => {
-                            let key = store
-                                .put_raw(value, bytes, shared.config.thinker_site)
-                                .await
-                                .unwrap_or_else(|e| panic!("submit: proxy put failed: {e}"));
-                            args.push(Arg::Proxied(UntypedProxy::new(store.clone(), key, bytes)));
+                        Some(store) if poisoned.is_none() => {
+                            match store.put_raw(value, bytes, shared.config.thinker_site).await {
+                                Ok(key) => args.push(Arg::Proxied(UntypedProxy::new(
+                                    store.clone(),
+                                    key,
+                                    bytes,
+                                ))),
+                                Err(e) => {
+                                    poisoned = Some(TaskError::PutFailed(e.to_string()));
+                                    args.push(Arg::inline((), 0));
+                                }
+                            }
                         }
+                        // Once poisoned, skip further puts: the task
+                        // will never execute.
+                        Some(_) => args.push(Arg::inline((), 0)),
                         None => args.push(Arg::Inline { bytes, value }),
                     }
                 }
@@ -169,6 +184,7 @@ impl ClientQueues {
         }
 
         let mut task = TaskSpec::new(id, topic, args, compute);
+        task.failed = poisoned;
         task.timing.created = Some(created);
         task.ser_time += sim.now() - proxy_start;
 
@@ -198,15 +214,18 @@ impl ClientQueues {
         let rx = shared
             .topic_rx
             .get(topic)
+            // hetlint: allow(r5) — unregistered topic is a deployment wiring bug, not a runtime fault
             .unwrap_or_else(|| panic!("topic {topic} was not registered"));
-        let result = rx.recv().await?;
-        // Thinker-side deserialization of the envelope.
+        let mut result = rx.recv().await?;
+        // Thinker-side deserialization of the envelope — part of the
+        // serialization bin, like every other (de)serialize pass.
         let ser = shared.config.ser.cost(&mut shared.rng.borrow_mut(), result.wire_bytes());
+        result.report.ser_time += ser;
         shared.sim.sleep(ser).await;
         shared.outstanding.set(shared.outstanding.get() - 1);
         shared
             .tracer
-            .emit(shared.sim.now(), "thinker", "result_received", result.id, 0.0);
+            .emit(shared.sim.now(), "thinker", kinds::RESULT_RECEIVED, result.id, 0.0);
         Some(CompletedTask { result: Some(result), queues: self.clone() })
     }
 
@@ -255,36 +274,56 @@ pub struct CompletedTask {
 }
 
 impl CompletedTask {
+    /// The underlying result; present until `resolve` consumes it.
+    fn inner(&self) -> &TaskResult {
+        self.result.as_ref().expect("not yet resolved")
+    }
+
     /// Task id.
     pub fn id(&self) -> TaskId {
-        self.result.as_ref().expect("not yet resolved").id
+        self.inner().id
     }
 
     /// Task topic.
     pub fn topic(&self) -> &str {
-        &self.result.as_ref().expect("not yet resolved").topic
+        &self.inner().topic
     }
 
     /// Life-cycle stamps so far.
     pub fn timing(&self) -> hetflow_fabric::TaskTiming {
-        self.result.as_ref().expect("not yet resolved").timing
+        self.inner().timing
+    }
+
+    /// True when the task failed (no need to resolve to find out —
+    /// §V-D2-style cheap inspection).
+    pub fn is_failed(&self) -> bool {
+        self.inner().is_failed()
+    }
+
+    /// How the task ended.
+    pub fn outcome(&self) -> TaskOutcome {
+        self.inner().outcome.clone()
     }
 
     /// Resolves the result data at the thinker's site, finishing the
-    /// record. Returns the value and the final record.
+    /// record. Returns the value and the final record. A failed task
+    /// resolves to a placeholder value and a failed record; an
+    /// unreachable proxied output degrades the record to failed instead
+    /// of panicking.
     pub async fn resolve(mut self) -> ResolvedTask {
         let mut result = self.result.take().expect("resolve called twice");
         let queues = &self.queues;
         let sim = queues.sim().clone();
         let (value, data_wait, was_local): (Rc<dyn Any>, Duration, bool) = match &result.output {
             Arg::Inline { value, .. } => (Rc::clone(value), Duration::ZERO, true),
-            Arg::Proxied(p) => {
-                let r = p
-                    .resolve(queues.site())
-                    .await
-                    .unwrap_or_else(|e| panic!("result resolve failed: {e}"));
-                (r.value, r.wait, r.was_local)
-            }
+            Arg::Proxied(p) => match p.resolve(queues.site()).await {
+                Ok(r) => (r.value, r.wait, r.was_local),
+                Err(e) => {
+                    result.outcome =
+                        TaskOutcome::Failed(TaskError::ResolveFailed(e.to_string()));
+                    (Rc::new(()) as Rc<dyn Any>, Duration::ZERO, false)
+                }
+            },
         };
         result.timing.result_ready = Some(sim.now());
         let record = TaskRecord {
@@ -298,6 +337,7 @@ impl CompletedTask {
             data_was_local: was_local,
             site: result.site,
             worker: result.worker.clone(),
+            outcome: result.outcome.clone(),
         };
         queues.push_record(record.clone());
         ResolvedTask { value, record }
@@ -312,10 +352,22 @@ pub struct ResolvedTask {
 }
 
 impl ResolvedTask {
-    /// Downcasts the output value.
+    /// True when the task failed; the value is a placeholder then.
+    pub fn is_failed(&self) -> bool {
+        self.record.is_failed()
+    }
+
+    /// The error, if the task failed.
+    pub fn error(&self) -> Option<&TaskError> {
+        self.record.outcome.error()
+    }
+
+    /// Downcasts the output value. Check [`ResolvedTask::is_failed`]
+    /// first: failed tasks carry a `()` placeholder, not a `T`.
     pub fn value<T: 'static>(&self) -> Rc<T> {
         Rc::clone(&self.value)
             .downcast::<T>()
+            // hetlint: allow(r5) — documented contract: callers check is_failed() before value()
             .unwrap_or_else(|_| panic!("task output has unexpected type"))
     }
 }
@@ -384,23 +436,35 @@ impl TaskServer {
             let config = config.clone();
             let mut rng = rng.substream(2);
             sim.spawn(async move {
+                // The modeled Redis result queue is FIFO per topic: a
+                // result must not overtake one enqueued earlier, so each
+                // topic's delivery times are monotone.
+                let mut last_delivery: BTreeMap<String, hetflow_sim::SimTime> = BTreeMap::new();
                 while let Some(mut result) = fabric_results.recv().await {
-                    // Server-side deserialize + serialize pass.
+                    // Server-side deserialize + serialize pass — charged
+                    // to the serialization bin like the submit path.
                     let wire = result.wire_bytes();
                     let de = config.ser.cost(&mut rng, wire);
                     let se = config.ser.cost(&mut rng, wire);
+                    result.report.ser_time += de + se;
                     sim2.sleep(de + se).await;
                     let Some(tx) = topic_tx.get(&result.topic) else {
+                        // hetlint: allow(r5) — unregistered topic is a deployment wiring bug
                         panic!("result for unregistered topic {}", result.topic);
                     };
                     // Queue transit back to the thinker.
                     let lat = config.queue_latency.sample(&mut rng);
                     let transit =
                         hetflow_sim::time::secs(lat + wire as f64 / config.queue_bandwidth);
+                    let mut deliver_at = sim2.now() + transit;
+                    if let Some(&last) = last_delivery.get(&result.topic) {
+                        deliver_at = deliver_at.max(last);
+                    }
+                    last_delivery.insert(result.topic.clone(), deliver_at);
                     let tx = tx.clone();
                     let sim3 = sim2.clone();
                     sim2.spawn(async move {
-                        sim3.sleep(transit).await;
+                        sim3.sleep_until(deliver_at).await;
                         result.timing.thinker_notified = Some(sim3.now());
                         let _ = tx.send_now(result);
                     });

@@ -49,6 +49,7 @@ impl ResourceCounter {
             self.pools
                 .borrow()
                 .get(name)
+                // hetlint: allow(r5) — unknown pool name is a configuration bug, not a runtime fault
                 .unwrap_or_else(|| panic!("unknown resource pool {name}")),
         )
     }

@@ -1,0 +1,128 @@
+//! Chaos recovery: worker failure injection, per-topic retry policies
+//! with backoff, a delivery timeout, and a scheduled endpoint outage —
+//! all surfaced to the thinker as *failed records* instead of panics.
+//!
+//! ```sh
+//! cargo run --release --example chaos_recovery
+//! ```
+//!
+//! The cloud fabric (§IV-A3) accepts and stores tasks while the remote
+//! endpoint is offline; the retry policy bounds how long the thinker is
+//! willing to wait for that recovery. Tasks stuck behind the outage
+//! longer than the deadline come back as `TaskError::Timeout`; tasks
+//! whose execution attempts are exhausted come back as
+//! `TaskError::ExhaustedRetries`. Either way the steering loop keeps
+//! running on whatever did finish.
+
+use hetflow_core::{deploy, DeploymentSpec, WorkflowConfig};
+use hetflow_fabric::{
+    Connectivity, FailureModel, RetryPolicies, RetryPolicy, TaskError, TaskWork,
+};
+use hetflow_steer::{Breakdown, Payload};
+use hetflow_sim::{time::secs, Dist, Sim, SimTime, Tracer};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+const TASKS: u32 = 40;
+
+fn main() {
+    let sim = Sim::new();
+    let tracer = Tracer::enabled();
+
+    // One 20-minute outage of the CPU endpoint, starting 2 seconds in —
+    // mid-submission, so most tasks are still in cloud transit and get
+    // held there (§IV-A3's store-and-forward) when the link drops.
+    let outage_start = SimTime::from_secs(2);
+    let outage = Duration::from_secs(20 * 60);
+
+    let spec = DeploymentSpec {
+        cpu_workers: 4,
+        gpu_workers: 4,
+        // Every attempt fails with probability 0.2; up to 2 attempts.
+        failure: Some(FailureModel {
+            prob: 0.2,
+            waste_fraction: 0.5,
+            restart_delay: Dist::Constant(2.0),
+            max_attempts: 2,
+        }),
+        // Simulations: 2 s constant backoff between attempts, and give
+        // up on any task not delivered + finished within 5 minutes.
+        retry: RetryPolicies::default().with_topic(
+            "simulate",
+            RetryPolicy {
+                max_attempts: 2,
+                timeout: Some(Duration::from_secs(300)),
+                backoff: Dist::Constant(2.0),
+            },
+        ),
+        cpu_connectivity: Connectivity::scheduled(&sim, vec![(outage_start, outage)]),
+        ..Default::default()
+    };
+    let deployment = deploy(&sim, WorkflowConfig::FnXGlobus, &spec, tracer.clone());
+
+    let queues = deployment.queues.clone();
+    let driver = sim.spawn(async move {
+        for i in 0..TASKS {
+            queues
+                .submit(
+                    "simulate",
+                    vec![Payload::new(i, 1_000_000)],
+                    Rc::new(|ctx| {
+                        let x = *ctx.input::<u32>(0);
+                        TaskWork::new(x * 2, 50_000, secs(60.0))
+                    }),
+                )
+                .await;
+        }
+        let mut ok = 0u32;
+        let mut errors: BTreeMap<&'static str, u32> = BTreeMap::new();
+        for _ in 0..TASKS {
+            let done = queues.get_result("simulate").await.expect("result stream");
+            let resolved = done.resolve().await;
+            match resolved.error() {
+                None => ok += 1,
+                Some(err) => *errors.entry(err.kind()).or_insert(0) += 1,
+            }
+        }
+        (ok, errors)
+    });
+    let (ok, errors) = sim.block_on(driver);
+
+    println!("=== chaos recovery: 20% failure rate + 20 min endpoint outage ===\n");
+    println!("tasks submitted      : {TASKS}");
+    println!("completed            : {ok}");
+    for (kind, n) in &errors {
+        println!("failed ({kind:<17}): {n}");
+    }
+    println!(
+        "outages seen         : {}",
+        spec.cpu_connectivity.outages_seen()
+    );
+    println!("virtual time elapsed : {}", sim.now());
+
+    // Failure-path accounting: failed tasks are records like any other,
+    // with a `failed` bin and the time lost to retries.
+    let records = deployment.queues.records();
+    let b = Breakdown::of(&records, Some("simulate"));
+    println!("\nrecords: {} total, {} failed", b.count, b.failed);
+    println!(
+        "retry waste: mean {:.1} s, max {:.1} s",
+        b.wasted.mean(),
+        b.wasted.max()
+    );
+    let attempts: u32 = records.iter().map(|r| r.report.attempts).sum();
+    println!("execution attempts across all tasks: {attempts}");
+
+    // Everything above is deterministic given the seed: same seed, same
+    // failures, same trace digest.
+    println!("trace digest: {:#018x}", tracer.digest());
+
+    assert_eq!(ok as usize + errors.values().sum::<u32>() as usize, TASKS as usize);
+    assert!(b.failed > 0, "chaos scenario should produce failed records");
+    let timeout_kind = TaskError::Timeout { after: Duration::ZERO }.kind();
+    assert!(
+        errors.contains_key(timeout_kind),
+        "tasks stuck behind the outage should time out"
+    );
+}

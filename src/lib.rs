@@ -39,7 +39,9 @@ pub mod prelude {
     pub use hetflow_apps::finetune::FinetuneParams;
     pub use hetflow_apps::moldesign::MolDesignParams;
     pub use hetflow_core::{deploy, Calibration, Deployment, DeploymentSpec, WorkflowConfig};
-    pub use hetflow_fabric::{TaskFn, TaskWork};
+    pub use hetflow_fabric::{
+        RetryPolicies, RetryPolicy, TaskError, TaskFn, TaskOutcome, TaskWork,
+    };
     pub use hetflow_steer::{Breakdown, ClientQueues, Payload, Thinker};
     pub use hetflow_sim::{Sim, SimRng, SimTime, Tracer};
 }

@@ -128,6 +128,71 @@ fn trace_digest_reproducible_parsl_redis() {
     assert_eq!(d1, d2, "trace digests diverged between same-seed runs");
 }
 
+/// Like [`traced_digest`] but with the full chaos kit switched on:
+/// worker failure injection, a scheduled endpoint outage, and a
+/// per-topic retry policy with backoff and a delivery deadline. The
+/// failure paths must be exactly as deterministic as the happy path.
+fn chaos_traced_digest(seed: u64) -> (u64, usize, usize) {
+    use hetflow::fabric::{Connectivity, FailureModel};
+    use hetflow::sim::Dist;
+
+    let sim = Sim::new();
+    let tracer = Tracer::enabled();
+    let spec = DeploymentSpec {
+        cpu_workers: 4,
+        gpu_workers: 2,
+        seed,
+        failure: Some(FailureModel {
+            prob: 0.2,
+            waste_fraction: 0.5,
+            restart_delay: Dist::Constant(2.0),
+            max_attempts: 2,
+        }),
+        retry: RetryPolicies::default().with_topic(
+            "simulate",
+            RetryPolicy {
+                max_attempts: 2,
+                timeout: Some(Duration::from_secs(300)),
+                backoff: Dist::Constant(1.0),
+            },
+        ),
+        cpu_connectivity: Connectivity::scheduled(
+            &sim,
+            vec![(SimTime::from_secs(2), Duration::from_secs(600))],
+        ),
+        ..Default::default()
+    };
+    let d = deploy(&sim, WorkflowConfig::FnXGlobus, &spec, tracer.clone());
+    let o = moldesign::run(
+        &sim,
+        &d,
+        MolDesignParams {
+            library_size: 400,
+            budget: Duration::from_secs(1200),
+            ensemble_size: 2,
+            retrain_after: 8,
+            seed,
+            ..Default::default()
+        },
+    );
+    (tracer.digest(), tracer.len(), o.failed)
+}
+
+#[test]
+fn trace_digest_reproducible_with_failure_injection() {
+    let (d1, n1, f1) = chaos_traced_digest(1234);
+    let (d2, n2, f2) = chaos_traced_digest(1234);
+    assert!(n1 > 0, "traced campaign emitted no events");
+    assert!(f1 > 0, "chaos campaign should produce failed tasks");
+    assert_eq!(f1, f2, "failure counts diverged between same-seed runs");
+    assert_eq!(n1, n2, "event counts diverged between same-seed runs");
+    assert_eq!(d1, d2, "trace digests diverged between same-seed runs");
+    // And the chaos must actually change the trace relative to the
+    // fault-free run of the same seed.
+    let (clean, _) = traced_digest(WorkflowConfig::FnXGlobus, 1234);
+    assert_ne!(d1, clean, "failure injection should alter the trace");
+}
+
 #[test]
 fn trace_digest_distinguishes_fabrics_and_seeds() {
     let (fnx, _) = traced_digest(WorkflowConfig::FnXGlobus, 1234);

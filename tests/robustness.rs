@@ -3,6 +3,7 @@
 //! clients) are unavailable so tasks can be resumed when endpoints
 //! reconnect" — plus worker-level failure injection.
 
+use hetflow::apps::moldesign;
 use hetflow::fabric::{Connectivity, FailureModel};
 use hetflow::prelude::*;
 use hetflow::sim::Dist;
@@ -134,6 +135,170 @@ fn worker_failures_are_retried_and_campaign_completes() {
     // With p=0.2 over 40 tasks, some retries are near-certain.
     assert!(retried > 0, "failure injection must trigger retries");
     assert!(retried < 40, "not every task should fail");
+}
+
+#[test]
+fn exhausted_retries_surface_as_failed_records() {
+    // Every attempt fails: each task burns its attempt cap and comes
+    // back to the thinker as a *failed record* — no panic anywhere.
+    let sim = Sim::new();
+    let spec = DeploymentSpec {
+        cpu_workers: 2,
+        gpu_workers: 1,
+        failure: Some(FailureModel {
+            prob: 1.0,
+            waste_fraction: 0.0,
+            restart_delay: Dist::Constant(1.0),
+            max_attempts: 2,
+        }),
+        ..Default::default()
+    };
+    let d = deploy(&sim, WorkflowConfig::FnXGlobus, &spec, Tracer::disabled());
+    let q = d.queues.clone();
+    let h = sim.spawn(async move {
+        for i in 0..8u32 {
+            q.submit(
+                "simulate",
+                vec![Payload::new(i, 1000)],
+                Rc::new(|_| TaskWork::new((), 100, Duration::from_secs(10))),
+            )
+            .await;
+        }
+        let mut failed = 0u32;
+        for _ in 0..8 {
+            let r = q.get_result("simulate").await.unwrap().resolve().await;
+            assert!(r.is_failed(), "prob-1.0 failures must exhaust retries");
+            match r.error() {
+                Some(TaskError::ExhaustedRetries { attempts }) => assert_eq!(*attempts, 2),
+                other => panic!("expected ExhaustedRetries, got {other:?}"),
+            }
+            assert_eq!(r.record.report.attempts, 2);
+            // Two failed attempts, waste_fraction 0: two restart delays.
+            assert_eq!(r.record.report.wasted_time, Duration::from_secs(2));
+            failed += 1;
+        }
+        failed
+    });
+    assert_eq!(sim.block_on(h), 8);
+    // Failure-path accounting: the lifecycle records carry the failures.
+    let b = Breakdown::of(&d.queues.records(), Some("simulate"));
+    assert_eq!(b.count, 8);
+    assert_eq!(b.failed, 8);
+    assert!(b.wasted.mean() > 0.0);
+}
+
+#[test]
+fn delivery_timeout_fails_tasks_stuck_behind_long_outage() {
+    // Tasks submitted mid-outage sit in the cloud store; the per-topic
+    // delivery deadline bounds how long the thinker waits before the
+    // fabric declares them timed out.
+    let sim = Sim::new();
+    let conn = Connectivity::scheduled(
+        &sim,
+        // Offline from t=1 s to t=601 s.
+        vec![(SimTime::from_secs(1), Duration::from_secs(600))],
+    );
+    let spec = DeploymentSpec {
+        cpu_workers: 2,
+        gpu_workers: 1,
+        retry: RetryPolicies::default().with_topic(
+            "simulate",
+            RetryPolicy {
+                timeout: Some(Duration::from_secs(120)),
+                ..RetryPolicy::default()
+            },
+        ),
+        cpu_connectivity: conn,
+        ..Default::default()
+    };
+    let d = deploy(&sim, WorkflowConfig::FnXGlobus, &spec, Tracer::disabled());
+    let q = d.queues.clone();
+    let s = sim.clone();
+    let h = sim.spawn(async move {
+        s.sleep(hetflow::sim::time::secs(5.0)).await; // mid-outage
+        for i in 0..4u32 {
+            q.submit(
+                "simulate",
+                vec![Payload::new(i, 1000)],
+                Rc::new(|_| TaskWork::new((), 100, Duration::from_secs(5))),
+            )
+            .await;
+        }
+        let mut timed_out = 0u32;
+        for _ in 0..4 {
+            let r = q.get_result("simulate").await.unwrap().resolve().await;
+            match r.error() {
+                Some(TaskError::Timeout { after }) => {
+                    assert_eq!(*after, Duration::from_secs(120));
+                    timed_out += 1;
+                }
+                other => panic!("expected Timeout, got {other:?}"),
+            }
+            assert!(
+                r.record.timing.worker_started.is_none(),
+                "a timed-out task never reached a worker"
+            );
+        }
+        (timed_out, s.now())
+    });
+    let (timed_out, end) = sim.block_on(h);
+    assert_eq!(timed_out, 4);
+    // All failures reported well before the outage ends at t=601 s.
+    assert!(end < SimTime::from_secs(200), "timeouts should not wait out the outage: {end}");
+}
+
+#[test]
+fn chaotic_campaign_completes_without_panic() {
+    // The ISSUE acceptance scenario: failure injection (p=0.2, two
+    // attempts), a scheduled endpoint outage overlapping submission,
+    // and a delivery deadline — the full campaign runs to completion
+    // with failed tasks counted, not panicking.
+    let sim = Sim::new();
+    let spec = DeploymentSpec {
+        cpu_workers: 4,
+        gpu_workers: 2,
+        failure: Some(FailureModel {
+            prob: 0.2,
+            waste_fraction: 0.5,
+            restart_delay: Dist::Constant(2.0),
+            max_attempts: 2,
+        }),
+        retry: RetryPolicies::default().with_topic(
+            "simulate",
+            RetryPolicy {
+                max_attempts: 2,
+                timeout: Some(Duration::from_secs(300)),
+                backoff: Dist::Constant(1.0),
+            },
+        ),
+        cpu_connectivity: Connectivity::scheduled(
+            &sim,
+            vec![(SimTime::from_secs(2), Duration::from_secs(600))],
+        ),
+        ..Default::default()
+    };
+    let d = deploy(&sim, WorkflowConfig::FnXGlobus, &spec, Tracer::disabled());
+    let o = moldesign::run(
+        &sim,
+        &d,
+        MolDesignParams {
+            library_size: 400,
+            budget: Duration::from_secs(2400),
+            ensemble_size: 2,
+            retrain_after: 8,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    assert!(o.simulations > 0, "campaign should still complete work");
+    assert!(o.failed > 0, "chaos must surface as counted failures");
+    let records = d.queues.records();
+    let b = Breakdown::of(&records, None);
+    assert_eq!(b.failed, o.failed, "lifecycle failed bin must match the app's count");
+    assert!(
+        records.iter().all(|r| r.report.attempts >= 1 || r.timing.worker_started.is_none()),
+        "every record either ran at least once or never reached a worker"
+    );
 }
 
 #[test]

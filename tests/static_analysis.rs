@@ -22,7 +22,7 @@ fn workspace_obeys_determinism_contract() {
     for (name, count, budget) in &report.unwrap_rows {
         if count > budget {
             failures.push_str(&format!(
-                "  crate `{name}`: {count} unwrap()/expect() sites exceed budget {budget}\n"
+                "  crate `{name}`: {count} unwrap()/expect()/panic!() sites exceed budget {budget}\n"
             ));
         }
     }
