@@ -4,30 +4,51 @@
 //! seed must yield the same trace on any machine. That property is easy
 //! to break with one stray wall-clock read or hash-order iteration, and
 //! such regressions are invisible until an expensive campaign diverges.
-//! hetlint walks every Rust source in the workspace and enforces the
-//! determinism contract as machine-checked rules:
+//! hetlint lexes every Rust source in the workspace into a real token
+//! stream (comments and string literals can never trigger rules) and
+//! enforces the determinism contract as machine-checked rules:
 //!
 //! - **R1** no `std::time::{Instant, SystemTime}` / `thread::sleep` in
-//!   sim-driven crates — virtual time only.
+//!   sim-driven crates — virtual time only. Aliased imports
+//!   (`use std::time::Instant as T`) are tracked.
 //! - **R2** no ambient entropy (`thread_rng`, `from_entropy`, `OsRng`)
 //!   outside `sim::rng` — named seeded streams only.
 //! - **R3** no order-leaking iteration over `HashMap`/`HashSet` in
 //!   sim-driven crates — keyed lookup is fine, iteration is not.
+//!   Chains are followed across any number of lines.
 //! - **R4** no OS-thread spawns outside `ml` — whose scoped,
 //!   member-seeded fan-out is the sanctioned escape hatch.
 //! - **R5** an `unwrap()`/`expect()`/`panic!()` budget per library
-//!   crate — a ratchet that may go down but not up. Runtime faults must
-//!   travel the typed failure path (`TaskOutcome::Failed`); only
-//!   invariant violations may abort, and each needs a reasoned allow.
+//!   crate, read from the checked-in `hetlint.ratchet` file — a ratchet
+//!   that may go down but not up. Runtime faults must travel the typed
+//!   failure path (`TaskOutcome::Failed`); only invariant violations
+//!   may abort, and each needs a reasoned allow.
 //! - **R6** float ordering must be total — `f64::total_cmp` or an
 //!   `Ord`-delegating wrapper, never ad-hoc `.partial_cmp().unwrap()`.
 //!
+//! After the per-file pass, a workspace-wide phase sees every file at
+//! once:
+//!
+//! - **R7** duplicate `SimRng` stream-name literals across distinct
+//!   derivation sites — identical names mean identical sequences
+//!   (correlated randomness).
+//! - **R8** drift between emitted trace-event kinds and the central
+//!   registry in `crates/sim/src/trace.rs` — emitted-but-unregistered
+//!   or registered-but-never-emitted kinds are silent digest drift.
+//! - **R9** stale `hetlint: allow(..)` annotations that no longer cover
+//!   any hit — they must be removed, not left to silently re-arm.
+//!
 //! Violations are suppressed in place with
 //! `// hetlint: allow(<rule>) — <reason>`; the reason is mandatory and
-//! every suppression is counted in the report.
+//! every suppression is counted in the report. R9 itself cannot be
+//! suppressed.
 
+pub mod json;
+pub mod lexer;
+pub mod ratchet;
 pub mod rules;
 pub mod scan;
+pub mod workspace;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -36,30 +57,6 @@ use std::path::{Path, PathBuf};
 /// (`hetflow`) re-exports and drives them, so it is held to the same
 /// contract.
 pub const SIM_DRIVEN: &[&str] = &["sim", "store", "fabric", "steer", "core", "apps", "hetflow"];
-
-/// Per-library-crate `unwrap()`/`expect()`/`panic!()` budgets (rule R5).
-///
-/// This is a ratchet: numbers may be lowered as call sites are converted
-/// to `Result` plumbing or the typed task-failure path
-/// (`TaskOutcome::Failed`), but raising one requires a design
-/// discussion. Counts cover only pre-`#[cfg(test)]` library code;
-/// annotated lines (`hetlint: allow(r5)`) are excluded from the count —
-/// the annotation marks an invariant-violation abort (a programming or
-/// wiring bug), never a runtime fault, which must surface as a failed
-/// task instead of a panic.
-pub const UNWRAP_BUDGETS: &[(&str, usize)] = &[
-    ("sim", 5),
-    ("store", 1),
-    ("fabric", 0),
-    ("steer", 2),
-    ("chem", 2),
-    ("ml", 3),
-    ("core", 0),
-    ("apps", 3),
-    ("bench", 6),
-    ("hetflow", 0),
-    ("lint", 0),
-];
 
 /// The rule that produced a violation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -76,6 +73,12 @@ pub enum RuleId {
     R5,
     /// Non-total float ordering.
     R6,
+    /// Duplicate seed-stream name across distinct sites.
+    R7,
+    /// Trace-kind registry drift.
+    R8,
+    /// Stale suppression.
+    R9,
     /// Malformed suppression (missing reason).
     BadAllow,
 }
@@ -90,6 +93,9 @@ impl RuleId {
             RuleId::R4 => "r4",
             RuleId::R5 => "r5",
             RuleId::R6 => "r6",
+            RuleId::R7 => "r7",
+            RuleId::R8 => "r8",
+            RuleId::R9 => "r9",
             RuleId::BadAllow => "bad-allow",
         }
     }
@@ -103,6 +109,9 @@ impl RuleId {
             RuleId::R4 => "R4 threads: no OS-thread spawn outside ml",
             RuleId::R5 => "R5 unwrap-budget: unwrap()/expect()/panic!() ratchet per library crate",
             RuleId::R6 => "R6 total-order: float ordering must be total",
+            RuleId::R7 => "R7 seed-streams: stream-name literals must be workspace-unique",
+            RuleId::R8 => "R8 trace-kinds: emitted kinds and the registry must agree",
+            RuleId::R9 => "R9 stale-allow: suppressions must cover a live violation",
             RuleId::BadAllow => "suppressions must carry a reason",
         }
     }
@@ -153,6 +162,12 @@ impl FileContext {
     pub fn is_rng_module(&self) -> bool {
         self.rel_path.ends_with("crates/sim/src/rng.rs") || self.rel_path == "src/rng.rs"
     }
+
+    /// True for the module holding the central trace-event-kind
+    /// registry (R8).
+    pub fn is_trace_module(&self) -> bool {
+        self.rel_path.ends_with("crates/sim/src/trace.rs") || self.rel_path == "src/trace.rs"
+    }
 }
 
 /// A single rule hit, before suppression filtering.
@@ -181,24 +196,49 @@ impl fmt::Display for Violation {
 pub struct FileReport {
     /// Rule hits that no annotation covers.
     pub violations: Vec<Violation>,
-    /// Rule hits covered by a reasoned `allow(..)`.
+    /// Rule hits covered by an `allow(..)`.
     pub suppressed: Vec<Violation>,
     /// Suppressions with an empty reason (each is itself a violation).
     pub bad_allows: Vec<Violation>,
-    /// Lines of pre-test `unwrap()`/`expect(`/`panic!(` sites (R5 raw
-    /// material).
+    /// Lines of pre-test `unwrap()`/`expect(`/`panic!(` sites that no
+    /// allow covers (R5 raw material).
     pub unwrap_sites: Vec<usize>,
 }
 
-/// Lints one source text under the given context. This is the pure core
-/// used both by the workspace walk and by fixture tests.
-pub fn lint_source(ctx: &FileContext, source: &str) -> FileReport {
+/// One file after the per-file pass, carrying everything the
+/// workspace-wide phase needs.
+#[derive(Debug)]
+pub struct LintedFile {
+    /// Where the file sits.
+    pub ctx: FileContext,
+    /// Per-file results; the cross-file phase appends to it.
+    pub report: FileReport,
+    /// The prepared source (token stream, suppressions, test boundary).
+    pub prepared: scan::Prepared,
+    /// Seed-stream derivation sites (R7 raw material).
+    pub stream_uses: Vec<rules::StreamUse>,
+    /// Trace emit sites (R8 raw material).
+    pub emit_sites: Vec<rules::EmitSite>,
+    /// Registry entries, non-empty only for the trace module (R8).
+    pub registry: Vec<rules::RegistryEntry>,
+    /// `(rule key, annotation line)` pairs for every suppression that
+    /// covered a hit — R9 flags the reasoned ones left over.
+    pub matched_allows: Vec<(String, usize)>,
+}
+
+/// Runs the per-file pass over one source text.
+pub fn lint_file(ctx: &FileContext, source: &str) -> LintedFile {
     let prepared = scan::prepare(source);
     let mut report = FileReport::default();
+    let mut matched_allows: Vec<(String, usize)> = Vec::new();
     for v in rules::check_file(ctx, &prepared) {
         match &v.suppression {
-            Some(s) if !s.reason.is_empty() => report.suppressed.push(v),
+            Some(s) if !s.reason.is_empty() => {
+                matched_allows.push((v.rule.key().to_string(), s.line));
+                report.suppressed.push(v);
+            }
             Some(s) => {
+                matched_allows.push((v.rule.key().to_string(), s.line));
                 let line = s.line;
                 report.bad_allows.push(Violation {
                     rule: RuleId::BadAllow,
@@ -232,8 +272,30 @@ pub fn lint_source(ctx: &FileContext, source: &str) -> FileReport {
             });
         }
     }
-    report.unwrap_sites = rules::count_unwraps(ctx, &prepared);
-    report
+    let r5 = rules::count_unwraps(ctx, &prepared);
+    report.unwrap_sites = r5.sites;
+    for line in r5.used_allow_lines {
+        matched_allows.push(("r5".to_string(), line));
+    }
+    let stream_uses = rules::stream_uses(ctx, &prepared);
+    let emit_sites = rules::emit_sites(ctx, &prepared);
+    let registry = rules::registry_entries(ctx, &prepared);
+    LintedFile {
+        ctx: ctx.clone(),
+        report,
+        prepared,
+        stream_uses,
+        emit_sites,
+        registry,
+        matched_allows,
+    }
+}
+
+/// Lints one source text under the given context, per-file rules only.
+/// This is the pure core used by fixture tests; the workspace-wide
+/// rules (R7–R9) need [`lint_set`].
+pub fn lint_source(ctx: &FileContext, source: &str) -> FileReport {
+    lint_file(ctx, source).report
 }
 
 /// Aggregate result of a workspace walk.
@@ -249,6 +311,9 @@ pub struct Report {
     pub unwrap_rows: Vec<(String, usize, usize)>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Informational findings that do not fail the run (e.g. ratchet
+    /// slack — a budget that could be lowered).
+    pub notes: Vec<String>,
 }
 
 impl Report {
@@ -258,6 +323,59 @@ impl Report {
             && self.bad_allows.is_empty()
             && self.unwrap_rows.iter().all(|(_, count, budget)| count <= budget)
     }
+}
+
+/// Lints a set of sources as one workspace: the per-file pass over each
+/// file, then the cross-file phase (R7–R9), then R5 accounting against
+/// the given ratchet. This is [`run`] without the filesystem walk, so
+/// fixture tests can exercise the workspace-wide rules on synthetic
+/// trees.
+pub fn lint_set(inputs: &[(FileContext, String)], budgets: &ratchet::Ratchet) -> Report {
+    let mut files: Vec<LintedFile> = inputs
+        .iter()
+        .map(|(ctx, source)| lint_file(ctx, source))
+        .collect();
+    workspace::cross_check(&mut files);
+
+    let mut report = Report { files_scanned: files.len(), ..Report::default() };
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for f in files {
+        report.violations.extend(f.report.violations);
+        report.suppressed.extend(f.report.suppressed);
+        report.bad_allows.extend(f.report.bad_allows);
+        if !f.report.unwrap_sites.is_empty() {
+            match counts.iter_mut().find(|(name, _)| *name == f.ctx.crate_name) {
+                Some((_, n)) => *n += f.report.unwrap_sites.len(),
+                None => counts.push((f.ctx.crate_name.clone(), f.report.unwrap_sites.len())),
+            }
+        }
+    }
+    // Rows cover the union of ratcheted crates and crates with sites, so
+    // both "over budget" and "slack" are visible.
+    let mut row_names: Vec<String> =
+        budgets.budgets.iter().map(|(name, _)| name.clone()).collect();
+    for (name, _) in &counts {
+        if !row_names.iter().any(|n| n == name) {
+            row_names.push(name.clone());
+        }
+    }
+    row_names.sort();
+    for name in row_names {
+        let count = counts
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        let budget = budgets.budget_for(&name).unwrap_or(0);
+        if count < budget {
+            report.notes.push(format!(
+                "R5 slack: crate `{name}` uses {count}/{budget} — the ratchet can be \
+                 lowered to {count}"
+            ));
+        }
+        report.unwrap_rows.push((name, count, budget));
+    }
+    report
 }
 
 /// Classifies a workspace-relative path into a [`FileContext`]; `None`
@@ -318,10 +436,13 @@ pub fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(found)
 }
 
-/// Walks the workspace at `root` and lints every classified source file.
+/// Walks the workspace at `root`, loads and verifies the ratchet file,
+/// and lints every classified source file (per-file and workspace-wide
+/// phases).
 pub fn run(root: &Path) -> std::io::Result<Report> {
-    let mut report = Report::default();
-    let mut unwraps: Vec<(String, usize)> = Vec::new();
+    let budgets = ratchet::load(root)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let mut inputs: Vec<(FileContext, String)> = Vec::new();
     for path in collect_sources(root)? {
         let rel = path
             .strip_prefix(root)
@@ -330,28 +451,9 @@ pub fn run(root: &Path) -> std::io::Result<Report> {
             .replace('\\', "/");
         let Some(ctx) = classify(&rel) else { continue };
         let source = std::fs::read_to_string(&path)?;
-        report.files_scanned += 1;
-        let file = lint_source(&ctx, &source);
-        report.violations.extend(file.violations);
-        report.suppressed.extend(file.suppressed);
-        report.bad_allows.extend(file.bad_allows);
-        if !file.unwrap_sites.is_empty() {
-            match unwraps.iter_mut().find(|(name, _)| *name == ctx.crate_name) {
-                Some((_, n)) => *n += file.unwrap_sites.len(),
-                None => unwraps.push((ctx.crate_name.clone(), file.unwrap_sites.len())),
-            }
-        }
+        inputs.push((ctx, source));
     }
-    unwraps.sort();
-    for (name, count) in unwraps {
-        let budget = UNWRAP_BUDGETS
-            .iter()
-            .find(|(b, _)| *b == name)
-            .map(|(_, n)| *n)
-            .unwrap_or(0);
-        report.unwrap_rows.push((name, count, budget));
-    }
-    Ok(report)
+    Ok(lint_set(&inputs, &budgets))
 }
 
 #[cfg(test)]
@@ -378,6 +480,14 @@ mod tests {
     fn classify_skips_vendor_and_fixtures() {
         assert!(classify("vendor/proptest/src/lib.rs").is_none());
         assert!(classify("crates/lint/tests/fixtures/bad_r1.rs").is_none());
+    }
+
+    #[test]
+    fn trace_module_detected() {
+        let ctx = classify("crates/sim/src/trace.rs").unwrap();
+        assert!(ctx.is_trace_module());
+        let other = classify("crates/sim/src/executor.rs").unwrap();
+        assert!(!other.is_trace_module());
     }
 
     #[test]
@@ -423,5 +533,19 @@ mod tests {
         let src = "fn f() { x.unwrap(); y.expect(\"msg\"); }\n#[cfg(test)]\nmod tests { fn g() { z.unwrap(); } }\n";
         let report = lint_source(&ctx, src);
         assert_eq!(report.unwrap_sites.len(), 2);
+    }
+
+    #[test]
+    fn lint_set_accounts_budgets_and_slack() {
+        let ctx = classify("crates/store/src/store.rs").unwrap();
+        let inputs = vec![(ctx, "fn f() { x.unwrap(); }\n".to_string())];
+        let budgets = ratchet::parse("store = 2\n").unwrap();
+        let report = lint_set(&inputs, &budgets);
+        assert!(report.clean());
+        assert_eq!(report.unwrap_rows, vec![("store".to_string(), 1, 2)]);
+        assert_eq!(report.notes.len(), 1);
+        let tight = ratchet::parse("store = 0\n").unwrap();
+        let report2 = lint_set(&inputs, &tight);
+        assert!(!report2.clean());
     }
 }

@@ -1,28 +1,75 @@
-//! hetlint CLI: `cargo run -p hetflow-lint [-- <workspace-root>]`.
+//! hetlint CLI: `cargo run -p hetflow-lint [-- [--format text|json] <workspace-root>]`.
 //!
-//! Walks the workspace sources, prints violations grouped by rule, and
-//! exits non-zero when the determinism contract is broken. See
+//! Walks the workspace sources, verifies the `hetlint.ratchet` budget
+//! file, and reports violations of the determinism contract. See
 //! DESIGN.md "Determinism rules" for the rule catalogue and the
 //! `hetlint: allow(<rule>) — <reason>` suppression syntax.
+//!
+//! Exit codes are stable for CI:
+//! - `0` — contract holds (no violations, budgets respected)
+//! - `1` — violations found (including budget overruns and bad allows)
+//! - `2` — the tool itself failed (bad usage, unreadable tree, missing
+//!   or malformed ratchet file)
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use hetflow_lint::{Report, RuleId};
+use hetflow_lint::{json, Report, RuleId};
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage() {
+    eprintln!("usage: hetlint [--format text|json] [workspace-root]");
+}
 
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
+    let mut format = Format::Text;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                _ => {
+                    usage();
+                    return ExitCode::from(2);
+                }
+            },
+            "--format=json" => format = Format::Json,
+            "--format=text" => format = Format::Text,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                usage();
+                return ExitCode::from(2);
+            }
+            _ => {
+                if root.is_some() {
+                    usage();
+                    return ExitCode::from(2);
+                }
+                root = Some(PathBuf::from(arg));
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
     let report = match hetflow_lint::run(&root) {
         Ok(r) => r,
         Err(e) => {
-            println!("hetlint: failed to walk {}: {e}", root.display());
+            eprintln!("hetlint: {e}");
             return ExitCode::from(2);
         }
     };
-    print_report(&report);
+    match format {
+        Format::Json => println!("{}", json::report_to_json(&report)),
+        Format::Text => print_report(&report),
+    }
     if report.clean() {
         ExitCode::SUCCESS
     } else {
@@ -37,6 +84,9 @@ fn print_report(report: &Report) {
         RuleId::R3,
         RuleId::R4,
         RuleId::R6,
+        RuleId::R7,
+        RuleId::R8,
+        RuleId::R9,
         RuleId::BadAllow,
     ];
     for rule in rules {
@@ -60,13 +110,17 @@ fn print_report(report: &Report) {
             if count > budget {
                 println!(
                     "  crate `{name}`: {count}/{budget} OVER BUDGET; convert to Result \
-                     plumbing / the typed task-failure path, or annotate an invariant \
-                     abort with `hetlint: allow(r5) — <why>`"
+                     plumbing / the typed task-failure path, annotate an invariant \
+                     abort with `hetlint: allow(r5) — <why>`, or raise the budget in \
+                     hetlint.ratchet with a design-reviewed diff"
                 );
             } else {
                 println!("  crate `{name}`: {count}/{budget}");
             }
         }
+    }
+    for note in &report.notes {
+        println!("note: {note}");
     }
     println!(
         "hetlint: {} files, {} violations, {} suppressed (reasoned), {} bad allows",

@@ -1,16 +1,61 @@
-//! The hetlint rule set (R1–R6).
+//! The hetlint per-file rule set (R1–R6) plus the raw-material
+//! extractors feeding the workspace-wide rules (R7, R8).
 //!
 //! Every rule enforces one clause of the determinism contract
-//! (DESIGN.md "Determinism rules"). Rules operate on the stripped code
-//! view produced by [`crate::scan`], so comments and string literals can
-//! never trigger them. Each detection is line-anchored, which is what
-//! lets `// hetlint: allow(<rule>) — <reason>` annotations suppress a
-//! specific occurrence.
+//! (DESIGN.md "Determinism rules"). Rules operate on the token stream
+//! produced by [`crate::lexer`], so comments and string literals can
+//! never trigger them, chains wrapped across any number of lines are
+//! followed exactly, and `use … as alias` renames of banned items are
+//! tracked. Each detection is line-anchored — for a wrapped chain the
+//! anchor is the line holding the flagged name — which is what lets
+//! `hetlint: allow(<rule>) — <reason>` annotations suppress a specific
+//! occurrence.
 
+use crate::lexer::{Tok, TokKind};
 use crate::scan::Prepared;
 use crate::{FileContext, FileKind, RuleId, Violation};
 
-/// Runs every applicable rule over one prepared file.
+/// Token-stream query helpers shared by every rule.
+#[derive(Clone, Copy)]
+struct Toks<'a>(&'a [Tok]);
+
+impl<'a> Toks<'a> {
+    fn len(self) -> usize {
+        self.0.len()
+    }
+
+    fn kind(self, i: usize) -> Option<TokKind> {
+        self.0.get(i).map(|t| t.kind)
+    }
+
+    fn text(self, i: usize) -> &'a str {
+        match self.0.get(i) {
+            Some(t) => t.text.as_str(),
+            None => "",
+        }
+    }
+
+    fn line(self, i: usize) -> usize {
+        self.0.get(i).map(|t| t.line).unwrap_or(0)
+    }
+
+    /// Token `i` is the identifier `s`.
+    fn id(self, i: usize, s: &str) -> bool {
+        self.0.get(i).is_some_and(|t| t.kind == TokKind::Ident && t.text == s)
+    }
+
+    /// Token `i` is any identifier.
+    fn is_id(self, i: usize) -> bool {
+        self.kind(i) == Some(TokKind::Ident)
+    }
+
+    /// Token `i` is the punctuation `s`.
+    fn p(self, i: usize, s: &str) -> bool {
+        self.0.get(i).is_some_and(|t| t.kind == TokKind::Punct && t.text == s)
+    }
+}
+
+/// Runs every applicable per-file rule over one prepared file.
 pub fn check_file(ctx: &FileContext, prepared: &Prepared) -> Vec<Violation> {
     let mut out = Vec::new();
     if ctx.sim_driven() {
@@ -25,37 +70,6 @@ pub fn check_file(ctx: &FileContext, prepared: &Prepared) -> Vec<Violation> {
     }
     r6_float_order(ctx, prepared, &mut out);
     out
-}
-
-/// Counts `.unwrap()` / `.expect(` / `panic!(` sites in library code
-/// (R5 inputs). Explicit panics count the same as unwraps: both abort a
-/// campaign instead of traveling the typed failure path
-/// (`TaskOutcome::Failed`), so both are rationed by the same ratchet.
-///
-/// Only lines before the file's `#[cfg(test)]` marker count — the
-/// convention in this workspace is a single trailing test module per
-/// file — and lines carrying an `allow(r5)` suppression are excluded.
-pub fn count_unwraps(ctx: &FileContext, prepared: &Prepared) -> Vec<usize> {
-    if ctx.kind != FileKind::LibSrc {
-        return Vec::new();
-    }
-    let mut sites = Vec::new();
-    for (idx, line) in prepared.lines.iter().enumerate() {
-        let line_no = idx + 1;
-        if line.code.contains("#[cfg(test)]") {
-            break;
-        }
-        if crate::scan::is_suppressed(prepared, "r5", line_no) {
-            continue;
-        }
-        let hits = line.code.matches(".unwrap()").count()
-            + line.code.matches(".expect(").count()
-            + line.code.matches("panic!(").count();
-        for _ in 0..hits {
-            sites.push(line_no);
-        }
-    }
-    sites
 }
 
 fn push(
@@ -76,315 +90,474 @@ fn push(
     });
 }
 
-/// True when `code` contains `needle` as a standalone identifier (not a
-/// substring of a longer identifier).
-fn has_ident(code: &str, needle: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = code[start..].find(needle) {
-        let at = start + pos;
-        let before_ok = at == 0
-            || !code[..at]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after = at + needle.len();
-        let after_ok = !code[after..]
-            .chars()
-            .next()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return true;
+/// Collects `use … <banned> as <alias>;` renames of banned identifiers,
+/// so call sites through the alias are caught (the substring scanner
+/// missed these entirely).
+fn collect_aliases(t: Toks<'_>, banned: &[&str]) -> Vec<(String, String)> {
+    let mut aliases = Vec::new();
+    let mut i = 0;
+    while i < t.len() {
+        if t.id(i, "use") {
+            let mut j = i + 1;
+            while j < t.len() && !t.p(j, ";") {
+                if t.is_id(j)
+                    && banned.contains(&t.text(j))
+                    && t.id(j + 1, "as")
+                    && t.is_id(j + 2)
+                {
+                    aliases.push((t.text(j + 2).to_string(), t.text(j).to_string()));
+                    j += 2;
+                }
+                j += 1;
+            }
+            i = j;
         }
-        start = after;
+        i += 1;
     }
-    false
+    aliases
 }
 
 /// R1 — wall-clock and real sleeps are banned in sim-driven crates:
 /// virtual time (`Sim::now`, `Sim::sleep`) is the only clock.
 fn r1_virtual_time(ctx: &FileContext, prepared: &Prepared, out: &mut Vec<Violation>) {
-    for (idx, line) in prepared.lines.iter().enumerate() {
-        let code = &line.code;
-        for (needle, what) in [
-            ("Instant", "std::time::Instant"),
-            ("SystemTime", "std::time::SystemTime"),
-        ] {
-            if has_ident(code, needle) {
+    const BANNED: &[&str] = &["Instant", "SystemTime"];
+    let t = Toks(&prepared.lex.tokens);
+    let aliases = collect_aliases(t, BANNED);
+    let mut i = 0;
+    while i < t.len() {
+        if t.is_id(i) {
+            let name = t.text(i);
+            if BANNED.contains(&name) {
+                let what = if name == "Instant" {
+                    "std::time::Instant"
+                } else {
+                    "std::time::SystemTime"
+                };
                 push(
                     out,
                     ctx,
                     prepared,
                     RuleId::R1,
-                    idx + 1,
+                    t.line(i),
                     format!("{what} in a sim-driven crate; use Sim::now() virtual time"),
+                );
+            } else if let Some((_, base)) = aliases.iter().find(|(a, _)| a == name) {
+                push(
+                    out,
+                    ctx,
+                    prepared,
+                    RuleId::R1,
+                    t.line(i),
+                    format!(
+                        "`{name}` aliases std::time::{base} in a sim-driven crate; use \
+                         Sim::now() virtual time"
+                    ),
+                );
+            } else if name == "thread" && t.p(i + 1, "::") && t.id(i + 2, "sleep") {
+                push(
+                    out,
+                    ctx,
+                    prepared,
+                    RuleId::R1,
+                    t.line(i),
+                    "std::thread::sleep in a sim-driven crate; use Sim::sleep virtual time"
+                        .into(),
                 );
             }
         }
-        if code.contains("thread::sleep") {
-            push(
-                out,
-                ctx,
-                prepared,
-                RuleId::R1,
-                idx + 1,
-                "std::thread::sleep in a sim-driven crate; use Sim::sleep virtual time".into(),
-            );
-        }
+        i += 1;
     }
 }
 
 /// R2 — ambient entropy is banned everywhere outside `sim::rng`: all
 /// randomness flows through named seeded streams.
 fn r2_entropy(ctx: &FileContext, prepared: &Prepared, out: &mut Vec<Violation>) {
-    for (idx, line) in prepared.lines.iter().enumerate() {
-        let code = &line.code;
-        for (needle, what) in [
-            ("thread_rng", "thread_rng()"),
-            ("from_entropy", "SeedableRng::from_entropy"),
-            ("OsRng", "OsRng"),
-        ] {
-            if has_ident(code, needle) {
+    const BANNED: &[&str] = &["thread_rng", "from_entropy", "OsRng"];
+    let t = Toks(&prepared.lex.tokens);
+    let aliases = collect_aliases(t, BANNED);
+    let mut i = 0;
+    while i < t.len() {
+        if t.is_id(i) {
+            let name = t.text(i);
+            if BANNED.contains(&name) {
                 push(
                     out,
                     ctx,
                     prepared,
                     RuleId::R2,
-                    idx + 1,
-                    format!("{what} outside sim::rng; derive a named stream via SimRng::stream"),
+                    t.line(i),
+                    format!("{name} outside sim::rng; derive a named stream via SimRng::stream"),
+                );
+            } else if let Some((_, base)) = aliases.iter().find(|(a, _)| a == name) {
+                push(
+                    out,
+                    ctx,
+                    prepared,
+                    RuleId::R2,
+                    t.line(i),
+                    format!(
+                        "`{name}` aliases {base} outside sim::rng; derive a named stream via \
+                         SimRng::stream"
+                    ),
                 );
             }
         }
+        i += 1;
     }
 }
 
 /// Iteration methods whose order reflects hash state.
 const ITER_METHODS: &[&str] = &[
-    ".iter()",
-    ".iter_mut()",
-    ".keys()",
-    ".values()",
-    ".values_mut()",
-    ".drain(",
-    ".into_iter()",
-    ".into_keys()",
-    ".into_values()",
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
 ];
+
+/// Accessor/borrow hops a chain may pass through between a container
+/// name and an order-leaking method.
+const CHAIN_HOPS: &[&str] = &[
+    "borrow",
+    "borrow_mut",
+    "as_ref",
+    "as_mut",
+    "clone",
+    "lock",
+    "read",
+    "write",
+];
+
+/// Smart-pointer wrappers that are transparent for R3 purposes:
+/// iterating through them still iterates the hash container. Outer
+/// *collections* (`Vec<HashMap<…>>`) are not listed — iterating a Vec
+/// of maps is deterministic — which kills a false-positive class of the
+/// old scanner.
+const TRANSPARENT_WRAPPERS: &[&str] =
+    &["RefCell", "Cell", "Rc", "Arc", "Mutex", "RwLock", "Box"];
 
 /// R3 — iterating a `HashMap`/`HashSet` leaks memory-layout order into
 /// event order in sim-driven crates. Keyed lookup (`get`, `insert`,
 /// `contains_key`, …) is fine; iteration must go through `BTreeMap`/
 /// `BTreeSet` or explicit sorting.
 fn r3_hash_iteration(ctx: &FileContext, prepared: &Prepared, out: &mut Vec<Violation>) {
-    // Pass 1: names declared with a hash-container type anywhere in the
-    // file: `name: …HashMap<…` field/param declarations and
-    // `let name = HashMap::new()` style bindings.
-    let mut hash_names: Vec<String> = Vec::new();
-    for line in &prepared.lines {
-        let code = &line.code;
-        for marker in ["HashMap", "HashSet"] {
-            let mut start = 0;
-            while let Some(pos) = code[start..].find(marker) {
-                let at = start + pos;
-                start = at + marker.len();
-                // Require a type/constructor position: `HashMap<` or
-                // `HashMap::`; a bare mention (e.g. an ident suffix) is
-                // skipped by the has_ident-style boundary check.
-                let after = &code[at + marker.len()..];
-                if !(after.starts_with('<') || after.starts_with("::")) {
-                    continue;
-                }
-                let before_ok = at == 0
-                    || !code[..at]
-                        .chars()
-                        .next_back()
-                        .is_some_and(|c| c.is_alphanumeric() || c == '_');
-                if !before_ok {
-                    continue;
-                }
-                if let Some(name) = declared_name(&code[..at]) {
-                    if !hash_names.contains(&name) {
-                        hash_names.push(name);
-                    }
-                }
-            }
-        }
+    let t = Toks(&prepared.lex.tokens);
+    let names = collect_hash_names(t);
+    if names.is_empty() {
+        return;
     }
-
-    // Pass 2: flag order-leaking use of those names. Chained calls are
-    // often wrapped, so each line is matched together with its successor.
-    for (idx, line) in prepared.lines.iter().enumerate() {
-        let joined = match prepared.lines.get(idx + 1) {
-            Some(next) => format!("{}\n{}", line.code, next.code),
-            None => line.code.clone(),
-        };
-        for name in &hash_names {
-            let Some(name_pos) = find_ident(&joined, name) else {
-                continue;
-            };
-            // The violation anchors on the line holding the iteration
-            // token; only report from the line where the name appears to
-            // avoid double-counting via the previous window.
-            if name_pos >= line.code.len() {
-                continue;
-            }
-            let tail = &joined[name_pos + name.len()..];
-            for method in ITER_METHODS {
-                if let Some(mpos) = tail.find(method) {
-                    // The method must belong to the same expression
-                    // chain: only accessor/borrow hops in between.
-                    if !is_chain(&tail[..mpos]) {
-                        continue;
-                    }
-                    let line_no = idx + 1;
-                    push(
-                        out,
-                        ctx,
-                        prepared,
-                        RuleId::R3,
-                        line_no,
-                        format!(
-                            "`{name}` is a HashMap/HashSet and `{method}` leaks hash order; \
-                             use BTreeMap/BTreeSet or sort explicitly"
-                        ),
-                    );
-                    break;
-                }
-            }
-            // `for x in &name` / `for x in name` — direct iteration.
-            let trimmed = joined.trim_start();
-            if trimmed.starts_with("for ") {
-                if let Some(in_pos) = joined.find(" in ") {
-                    let target = joined[in_pos + 4..].trim_start().trim_start_matches('&');
-                    let target_ident: String = target
-                        .chars()
-                        .take_while(|c| c.is_alphanumeric() || *c == '_')
-                        .collect();
-                    if &target_ident == name && name_pos > in_pos {
-                        push(
-                            out,
-                            ctx,
-                            prepared,
-                            RuleId::R3,
-                            idx + 1,
-                            format!(
-                                "`for … in {name}` iterates a HashMap/HashSet in hash order; \
-                                 use BTreeMap/BTreeSet or sort explicitly"
-                            ),
-                        );
-                    }
-                }
+    let mut i = 0;
+    while i < t.len() {
+        if t.is_id(i) && names.iter().any(|n| n == t.text(i)) {
+            let name = t.text(i).to_string();
+            // Method-chain iteration, following hops across any number
+            // of lines (the old 2-line join window missed ≥3-line
+            // chains and could double-report window boundaries).
+            if let Some(method) = chain_reaches_iteration(t, i + 1) {
+                push(
+                    out,
+                    ctx,
+                    prepared,
+                    RuleId::R3,
+                    t.line(i),
+                    format!(
+                        "`{name}` is a HashMap/HashSet and `.{method}()` leaks hash order; \
+                         use BTreeMap/BTreeSet or sort explicitly"
+                    ),
+                );
+            } else if is_direct_for_iteration(t, i) {
+                push(
+                    out,
+                    ctx,
+                    prepared,
+                    RuleId::R3,
+                    t.line(i),
+                    format!(
+                        "`for … in {name}` iterates a HashMap/HashSet in hash order; \
+                         use BTreeMap/BTreeSet or sort explicitly"
+                    ),
+                );
             }
         }
+        i += 1;
     }
 }
 
-/// Finds `needle` as a standalone identifier, returning its offset.
-fn find_ident(code: &str, needle: &str) -> Option<usize> {
-    let mut start = 0;
-    while let Some(pos) = code[start..].find(needle) {
-        let at = start + pos;
-        let before_ok = at == 0
-            || !code[..at]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after = at + needle.len();
-        let after_ok = !code[after..]
-            .chars()
-            .next()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return Some(at);
+/// Follows a method chain starting right after a container name and
+/// returns the order-leaking method it reaches, if any. Allowed hops:
+/// `?`, closing parens, and the accessor calls in [`CHAIN_HOPS`].
+fn chain_reaches_iteration(t: Toks<'_>, mut j: usize) -> Option<&'static str> {
+    loop {
+        if t.p(j, "?") || t.p(j, ")") {
+            j += 1;
+            continue;
         }
-        start = after;
+        if t.p(j, ".") && t.is_id(j + 1) {
+            let m = t.text(j + 1);
+            if let Some(hit) = ITER_METHODS.iter().find(|im| **im == m) {
+                if t.p(j + 2, "(") {
+                    return Some(hit);
+                }
+                return None;
+            }
+            if CHAIN_HOPS.contains(&m) && t.p(j + 2, "(") && t.p(j + 3, ")") {
+                j += 4;
+                continue;
+            }
+            return None;
+        }
+        return None;
+    }
+}
+
+/// True when the name at `i` is the direct target of a `for … in`
+/// loop: `for x in [&[mut]] name {`. Method-call targets
+/// (`for k in name.keys()`) are handled by the chain check, so this
+/// requires `{` right after the name — exactly one report per loop
+/// (the old scanner reported `for k in map.keys()` twice).
+fn is_direct_for_iteration(t: Toks<'_>, i: usize) -> bool {
+    if !t.p(i + 1, "{") {
+        return false;
+    }
+    let mut b = i;
+    while b > 0 && (t.p(b - 1, "&") || t.id(b - 1, "mut")) {
+        b -= 1;
+    }
+    if b == 0 || !t.id(b - 1, "in") {
+        return false;
+    }
+    // A `for` keyword must open the same statement.
+    let mut k = b - 1;
+    let mut guard = 0;
+    while k > 0 && guard < 64 {
+        k -= 1;
+        guard += 1;
+        if t.id(k, "for") {
+            return true;
+        }
+        if t.p(k, ";") || t.p(k, "{") || t.p(k, "}") {
+            return false;
+        }
+    }
+    false
+}
+
+/// Collects every name declared with a hash-container type: `let`
+/// bindings (simple, type-ascribed, and tuple patterns, matched
+/// positionally), struct fields, and function parameters, seen through
+/// transparent smart-pointer wrappers and path qualification.
+fn collect_hash_names(t: Toks<'_>) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    let mut add = |n: &str| {
+        if !n.is_empty() && !names.iter().any(|x| x == n) {
+            names.push(n.to_string());
+        }
+    };
+    let mut i = 0;
+    while i < t.len() {
+        let is_hash = t.id(i, "HashMap") || t.id(i, "HashSet");
+        // Require a type/constructor position: `HashMap<` or `HashMap::`.
+        if is_hash && (t.p(i + 1, "<") || t.p(i + 1, "::")) {
+            // Walk outward over path segments (`std::collections::`),
+            // transparent wrapper generics (`RefCell<`), and reference
+            // sigils, to the position the declaring name would precede.
+            let mut o = i;
+            loop {
+                if o >= 2 && t.p(o - 1, "::") && t.is_id(o - 2) {
+                    o -= 2;
+                    continue;
+                }
+                if o >= 2
+                    && t.p(o - 1, "<")
+                    && t.is_id(o - 2)
+                    && TRANSPARENT_WRAPPERS.contains(&t.text(o - 2))
+                {
+                    o -= 2;
+                    continue;
+                }
+                if o >= 1
+                    && (t.p(o - 1, "&")
+                        || t.id(o - 1, "mut")
+                        || t.kind(o - 1) == Some(TokKind::Lifetime))
+                {
+                    o -= 1;
+                    continue;
+                }
+                break;
+            }
+            // Field / parameter / ascription position: `name: <type>`.
+            if o >= 2 && t.p(o - 1, ":") && t.is_id(o - 2) {
+                add(t.text(o - 2));
+            } else if let Some(name) = let_bound_name(t, i) {
+                add(&name);
+            }
+        }
+        i += 1;
+    }
+    names
+}
+
+/// Resolves which `let`-bound name a hash-container token at `i`
+/// belongs to, handling `let m = HashMap::new()`, tuple patterns
+/// matched positionally against tuple initializers or tuple type
+/// ascriptions, and `mut` markers. Returns `None` when the container
+/// cannot be attributed to a single binding.
+fn let_bound_name(t: Toks<'_>, i: usize) -> Option<String> {
+    // Find the statement's `let`, bounded by statement delimiters.
+    let mut k = i;
+    let mut guard = 0;
+    let let_idx = loop {
+        if k == 0 || guard > 128 {
+            return None;
+        }
+        k -= 1;
+        guard += 1;
+        if t.id(k, "let") {
+            break k;
+        }
+        if t.p(k, ";") || t.p(k, "}") {
+            return None;
+        }
+    };
+    let mut p0 = let_idx + 1;
+    if t.id(p0, "mut") {
+        p0 += 1;
+    }
+    // The binding `=` is the first top-level `=` after the pattern.
+    let eq = find_binding_eq(t, let_idx)?;
+    if t.is_id(p0) {
+        // Simple binding: `let name [: T] = …` — count the container
+        // only when it appears in the initializer (ascription positions
+        // were already handled by the `name: <type>` case, which
+        // deliberately skips non-transparent outer collections).
+        if i > eq {
+            return Some(t.text(p0).to_string());
+        }
+        return None;
+    }
+    if t.p(p0, "(") {
+        // Tuple pattern: collect element names, then match the
+        // container's position against the tuple initializer or the
+        // tuple type ascription.
+        let (elems, close) = tuple_pattern_elems(t, p0)?;
+        if i > eq {
+            if t.p(eq + 1, "(") {
+                let idx = comma_index_before(t, eq + 1, i)?;
+                return elems.get(idx).cloned();
+            }
+            return None;
+        }
+        if t.p(close + 1, ":") && t.p(close + 2, "(") {
+            let idx = comma_index_before(t, close + 2, i)?;
+            return elems.get(idx).cloned();
+        }
     }
     None
 }
 
-/// True when the text between a name and a method call is only chain
-/// hops: `.borrow()`, `.borrow_mut()`, `.as_ref()`, `.lock()`, `?`,
-/// closing parens, or whitespace/newlines.
-fn is_chain(between: &str) -> bool {
-    let cleaned = between
-        .replace(".borrow_mut()", "")
-        .replace(".borrow()", "")
-        .replace(".as_ref()", "")
-        .replace(".as_mut()", "")
-        .replace(".clone()", "")
-        .replace(".lock()", "");
-    cleaned
-        .chars()
-        .all(|c| c.is_whitespace() || c == ')' || c == '?' || c == '&' || c == '*')
-}
-
-/// Extracts the declared identifier from text preceding a hash type:
-/// `… name: ` (field/param/binding annotation) or `let [mut] name = `.
-fn declared_name(before: &str) -> Option<String> {
-    let trimmed = before.trim_end();
-    // `let map = HashMap::new()` / `let mut map = HashMap::new()`.
-    if let Some(eq_stripped) = trimmed.strip_suffix('=') {
-        let lhs = eq_stripped.trim_end();
-        let name = trailing_ident(lhs)?;
-        // Only simple `let` bindings — assignments to fields keep the
-        // declaration they were annotated with.
-        return Some(name);
-    }
-    // `map: HashMap<…>` possibly through wrappers:
-    // `map: RefCell<HashMap<…>>` — strip wrapper idents and `<`.
-    let mut rest = trimmed;
-    loop {
-        rest = rest.trim_end();
-        if let Some(r) = rest.strip_suffix('<') {
-            // Remove the wrapper type name before the `<`.
-            let r = r.trim_end();
-            let cut = r
-                .rfind(|c: char| !(c.is_alphanumeric() || c == '_' || c == ':'))
-                .map(|p| p + 1)
-                .unwrap_or(0);
-            rest = &r[..cut];
-            continue;
+/// Index of the first top-level `=` after a `let`, skipping over
+/// bracketed groups (pattern tuples, generic arguments use `<` which
+/// never nests an `=` in this grammar subset).
+fn find_binding_eq(t: Toks<'_>, let_idx: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = let_idx + 1;
+    let mut guard = 0;
+    while j < t.len() && guard < 256 {
+        if t.p(j, "(") || t.p(j, "[") || t.p(j, "{") {
+            depth += 1;
+        } else if t.p(j, ")") || t.p(j, "]") || t.p(j, "}") {
+            depth -= 1;
+            if depth < 0 {
+                return None;
+            }
+        } else if depth == 0 && t.p(j, "=") && !t.p(j + 1, "=") {
+            return Some(j);
+        } else if depth == 0 && t.p(j, ";") {
+            return None;
         }
-        break;
+        j += 1;
+        guard += 1;
     }
-    let rest = rest.trim_end();
-    let colon_stripped = rest.strip_suffix(':')?;
-    trailing_ident(colon_stripped.trim_end())
+    None
 }
 
-/// The identifier ending `text`, if any.
-fn trailing_ident(text: &str) -> Option<String> {
-    let name: String = text
-        .chars()
-        .rev()
-        .take_while(|c| c.is_alphanumeric() || *c == '_')
-        .collect::<String>()
-        .chars()
-        .rev()
-        .collect();
-    if name.is_empty() || name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
-        None
-    } else {
-        Some(name)
+/// Element names of a tuple pattern opening at `open` (`(` token),
+/// positionally: `(a, mut b, _)` → `["a", "b", ""]`. Returns the
+/// names and the index of the closing `)`.
+fn tuple_pattern_elems(t: Toks<'_>, open: usize) -> Option<(Vec<String>, usize)> {
+    let mut elems: Vec<String> = Vec::new();
+    let mut current = String::new();
+    let mut depth = 1i32;
+    let mut j = open + 1;
+    while j < t.len() {
+        if t.p(j, "(") {
+            depth += 1;
+        } else if t.p(j, ")") {
+            depth -= 1;
+            if depth == 0 {
+                elems.push(current);
+                return Some((elems, j));
+            }
+        } else if depth == 1 && t.p(j, ",") {
+            elems.push(std::mem::take(&mut current));
+        } else if depth == 1 && t.is_id(j) && !t.id(j, "mut") && !t.id(j, "ref") {
+            current = t.text(j).to_string();
+        }
+        j += 1;
     }
+    None
+}
+
+/// Which depth-1 comma-separated slot of the group opening at `open`
+/// the token index `target` falls in.
+fn comma_index_before(t: Toks<'_>, open: usize, target: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut idx = 0usize;
+    let mut j = open;
+    while j < target && j < t.len() {
+        if t.p(j, "(") || t.p(j, "[") {
+            depth += 1;
+        } else if t.p(j, ")") || t.p(j, "]") {
+            depth -= 1;
+            if depth == 0 {
+                return None;
+            }
+        } else if depth == 1 && t.p(j, ",") {
+            idx += 1;
+        }
+        j += 1;
+    }
+    Some(idx)
 }
 
 /// R4 — OS threads are banned outside `ml`: detached threads observe
 /// real scheduling order. `ml`'s scoped, member-seeded fan-out is the
 /// one sanctioned escape hatch.
 fn r4_thread_spawn(ctx: &FileContext, prepared: &Prepared, out: &mut Vec<Violation>) {
-    for (idx, line) in prepared.lines.iter().enumerate() {
-        if line.code.contains("thread::spawn") || line.code.contains("thread::Builder") {
+    let t = Toks(&prepared.lex.tokens);
+    let mut i = 0;
+    while i + 2 < t.len() {
+        if t.id(i, "thread")
+            && t.p(i + 1, "::")
+            && (t.id(i + 2, "spawn") || t.id(i + 2, "Builder") || t.id(i + 2, "scope"))
+        {
             push(
                 out,
                 ctx,
                 prepared,
                 RuleId::R4,
-                idx + 1,
+                t.line(i),
                 "OS thread spawn outside ml; use Sim::spawn (virtual concurrency) or move the \
                  parallelism into ml with member-derived seeds"
                     .into(),
             );
         }
+        i += 1;
     }
 }
 
@@ -392,32 +565,261 @@ fn r4_thread_spawn(ctx: &FileContext, prepared: &Prepared, out: &mut Vec<Violati
 /// `.partial_cmp(..)` calls (typically `.partial_cmp(b).unwrap()`) must
 /// become `f64::total_cmp` or a total-order wrapper type that delegates
 /// `partial_cmp` to `Ord::cmp` (the `sim::executor::TimerKey` pattern).
+/// Definitions (`fn partial_cmp`) have no leading `.` and are the
+/// blessed delegation pattern, so only calls match.
 fn r6_float_order(ctx: &FileContext, prepared: &Prepared, out: &mut Vec<Violation>) {
-    for (idx, line) in prepared.lines.iter().enumerate() {
-        let code = &line.code;
-        let mut start = 0;
-        while let Some(pos) = code[start..].find("partial_cmp") {
-            let at = start + pos;
-            start = at + "partial_cmp".len();
-            // Definitions (`fn partial_cmp`) delegate to a total order —
-            // that is the blessed pattern; only *calls* are flagged.
-            let preceding = code[..at].trim_end();
-            if preceding.ends_with("fn") {
-                continue;
-            }
-            if !code[..at].ends_with('.') {
-                continue;
-            }
+    let t = Toks(&prepared.lex.tokens);
+    let mut i = 0;
+    while i + 2 < t.len() {
+        if t.p(i, ".") && t.id(i + 1, "partial_cmp") && t.p(i + 2, "(") {
             push(
                 out,
                 ctx,
                 prepared,
                 RuleId::R6,
-                idx + 1,
+                t.line(i + 1),
                 "ad-hoc .partial_cmp() in an ordering position; use f64::total_cmp or a \
                  total-order wrapper delegating to Ord"
                     .into(),
             );
         }
+        i += 1;
     }
+}
+
+/// R5 raw material: `.unwrap()` / `.expect(` / `panic!(` sites in
+/// library code before the test boundary.
+#[derive(Debug, Default)]
+pub struct R5Sites {
+    /// Lines of countable sites (one entry per site).
+    pub sites: Vec<usize>,
+    /// Lines of `allow(r5)` annotations that excluded a site — R9 uses
+    /// this to tell live suppressions from stale ones.
+    pub used_allow_lines: Vec<usize>,
+}
+
+/// Counts `.unwrap()` / `.expect(` / `panic!(` sites in library code
+/// (R5 inputs). Explicit panics count the same as unwraps: both abort a
+/// campaign instead of traveling the typed failure path
+/// (`TaskOutcome::Failed`), so both are rationed by the same ratchet.
+///
+/// Only tokens before the file's `#[cfg(test)]` boundary count, and
+/// sites covered by an `allow(r5)` suppression are excluded (but the
+/// covering annotation is recorded as used).
+pub fn count_unwraps(ctx: &FileContext, prepared: &Prepared) -> R5Sites {
+    let mut out = R5Sites::default();
+    if ctx.kind != FileKind::LibSrc {
+        return out;
+    }
+    let t = Toks(&prepared.lex.tokens);
+    let mut i = 0;
+    while i < t.len() {
+        let line = t.line(i);
+        if line >= prepared.test_boundary {
+            break;
+        }
+        let hit = (t.p(i, ".") && t.id(i + 1, "unwrap") && t.p(i + 2, "(") && t.p(i + 3, ")"))
+            || (t.p(i, ".") && t.id(i + 1, "expect") && t.p(i + 2, "("))
+            || (t.id(i, "panic") && t.p(i + 1, "!") && t.p(i + 2, "("));
+        if hit {
+            // Anchor on the method/macro name so wrapped calls attach
+            // to the right line.
+            let site_line = if t.p(i, ".") { t.line(i + 1) } else { line };
+            match crate::scan::find_suppression(prepared, "r5", site_line) {
+                Some(s) => {
+                    if !out.used_allow_lines.contains(&s.line) {
+                        out.used_allow_lines.push(s.line);
+                    }
+                }
+                None => out.sites.push(site_line),
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// One `SimRng::stream`/`.stream("…")` call site (R7 raw material).
+#[derive(Clone, Debug)]
+pub struct StreamUse {
+    /// The stream-name string literal.
+    pub name: String,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// Collects seed-stream derivation sites: `SimRng::stream(seed, "name")`
+/// and method-style `master.stream("name")`. Only pre-test library code
+/// counts — tests legitimately reuse names to probe stream equality —
+/// and `sim::rng` itself (definitions, doc examples) is exempt.
+pub fn stream_uses(ctx: &FileContext, prepared: &Prepared) -> Vec<StreamUse> {
+    let mut out = Vec::new();
+    if ctx.kind != FileKind::LibSrc || ctx.is_rng_module() {
+        return out;
+    }
+    let t = Toks(&prepared.lex.tokens);
+    let mut i = 1;
+    while i < t.len() {
+        if t.id(i, "stream") && t.p(i + 1, "(") && t.line(i) < prepared.test_boundary {
+            let qualified = t.p(i - 1, ".")
+                || (t.p(i - 1, "::") && i >= 2 && t.id(i - 2, "SimRng"));
+            if qualified {
+                if let Some(name) = first_str_arg(&prepared.lex.tokens, i + 2) {
+                    out.push(StreamUse { name, line: t.line(i) });
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// First string literal at argument depth 1 starting from the token
+/// just inside a call's opening paren.
+fn first_str_arg(toks: &[Tok], mut j: usize) -> Option<String> {
+    let t = Toks(toks);
+    let mut depth = 1i32;
+    while j < toks.len() && depth > 0 {
+        if t.p(j, "(") || t.p(j, "[") || t.p(j, "{") {
+            depth += 1;
+        } else if t.p(j, ")") || t.p(j, "]") || t.p(j, "}") {
+            depth -= 1;
+        } else if depth == 1 && t.kind(j) == Some(TokKind::Str) {
+            return Some(t.text(j).to_string());
+        }
+        j += 1;
+    }
+    None
+}
+
+/// How an emit site names its event kind (R8 raw material).
+#[derive(Clone, Debug)]
+pub enum EmitKindRef {
+    /// `kinds::SOME_CONST` — the blessed form.
+    Const(String),
+    /// An ad-hoc string literal.
+    Literal(String),
+}
+
+/// One `.emit(…)` call site with a resolvable kind argument.
+#[derive(Clone, Debug)]
+pub struct EmitSite {
+    /// How the kind argument was written.
+    pub kind: EmitKindRef,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// Collects `.emit(t, actor, <kind>, …)` call sites in pre-test library
+/// code and resolves the kind argument (the third) when it is either a
+/// `kinds::CONST` path or a string literal.
+pub fn emit_sites(ctx: &FileContext, prepared: &Prepared) -> Vec<EmitSite> {
+    let mut out = Vec::new();
+    if ctx.kind != FileKind::LibSrc {
+        return out;
+    }
+    let t = Toks(&prepared.lex.tokens);
+    let mut i = 0;
+    while i + 2 < t.len() {
+        if t.p(i, ".")
+            && t.id(i + 1, "emit")
+            && t.p(i + 2, "(")
+            && t.line(i + 1) < prepared.test_boundary
+        {
+            if let Some(kind) = third_arg_kind(&prepared.lex.tokens, i + 3) {
+                out.push(EmitSite { kind, line: t.line(i + 1) });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Resolves the third argument of a call whose body starts at `j`
+/// (just inside the `(`), when it is `kinds::CONST` or a string
+/// literal.
+fn third_arg_kind(toks: &[Tok], mut j: usize) -> Option<EmitKindRef> {
+    let t = Toks(toks);
+    let mut depth = 1i32;
+    let mut arg = 0usize;
+    let mut arg_tokens: Vec<usize> = Vec::new();
+    while j < toks.len() && depth > 0 {
+        if t.p(j, "(") || t.p(j, "[") || t.p(j, "{") {
+            depth += 1;
+        } else if t.p(j, ")") || t.p(j, "]") || t.p(j, "}") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if depth == 1 && t.p(j, ",") {
+            arg += 1;
+            if arg > 2 {
+                break;
+            }
+            j += 1;
+            continue;
+        }
+        if depth >= 1 && arg == 2 {
+            arg_tokens.push(j);
+        }
+        j += 1;
+    }
+    if arg_tokens.is_empty() {
+        return None;
+    }
+    // `kinds::CONST` anywhere in the argument (covers `trace::kinds::X`).
+    let mut k = 0;
+    while k + 2 < arg_tokens.len() + 2 && k < arg_tokens.len() {
+        let a = arg_tokens[k];
+        if t.id(a, "kinds") && t.p(a + 1, "::") && t.is_id(a + 2) {
+            return Some(EmitKindRef::Const(t.text(a + 2).to_string()));
+        }
+        k += 1;
+    }
+    if arg_tokens.len() == 1 && t.kind(arg_tokens[0]) == Some(TokKind::Str) {
+        return Some(EmitKindRef::Literal(t.text(arg_tokens[0]).to_string()));
+    }
+    None
+}
+
+/// One entry of the trace-event-kind registry (R8 raw material).
+#[derive(Clone, Debug)]
+pub struct RegistryEntry {
+    /// The constant's name, e.g. `TASK_CREATED`.
+    pub const_name: String,
+    /// The kind string the constant holds.
+    pub value: String,
+    /// 1-based line of the declaration.
+    pub line: usize,
+}
+
+/// Parses the central trace-event-kind registry out of the trace
+/// module: every `const NAME: &str = "value";` before the test
+/// boundary. Returns an empty list for any other file.
+pub fn registry_entries(ctx: &FileContext, prepared: &Prepared) -> Vec<RegistryEntry> {
+    let mut out = Vec::new();
+    if !ctx.is_trace_module() {
+        return out;
+    }
+    let t = Toks(&prepared.lex.tokens);
+    let mut i = 0;
+    while i + 6 < t.len() {
+        if t.id(i, "const")
+            && t.is_id(i + 1)
+            && t.p(i + 2, ":")
+            && t.p(i + 3, "&")
+            && t.id(i + 4, "str")
+            && t.p(i + 5, "=")
+            && t.kind(i + 6) == Some(TokKind::Str)
+            && t.line(i) < prepared.test_boundary
+        {
+            out.push(RegistryEntry {
+                const_name: t.text(i + 1).to_string(),
+                value: t.text(i + 6).to_string(),
+                line: t.line(i),
+            });
+        }
+        i += 1;
+    }
+    out
 }

@@ -1,21 +1,13 @@
-//! Source preparation: comment/string stripping and suppression parsing.
+//! Source preparation: lexing, suppression parsing, and the test-module
+//! boundary.
 //!
 //! Rules must never fire on text inside comments or string literals —
 //! "no false positives on comments or strings" is part of hetlint's
-//! contract — so every rule operates on a *stripped* view of each line,
-//! produced here by a small character-level state machine. Comment text
-//! is kept separately because that is where `hetlint: allow(..)`
-//! suppressions live.
+//! contract — so every rule operates on the token stream produced by
+//! [`crate::lexer`]. Comment text is kept per line because that is
+//! where `hetlint: allow(..)` suppressions live.
 
-/// One source line, split into lintable code and comment text.
-#[derive(Clone, Debug, Default)]
-pub struct PreparedLine {
-    /// The line with comments removed and string/char literal contents
-    /// blanked (quotes retained, so token adjacency is preserved).
-    pub code: String,
-    /// Concatenated comment text appearing on the line.
-    pub comment: String,
-}
+use crate::lexer::{self, Lexed, Tok, TokKind};
 
 /// A parsed `hetlint: allow(<rule>) — <reason>` annotation.
 #[derive(Clone, Debug)]
@@ -32,187 +24,70 @@ pub struct Suppression {
 /// A whole file after preparation.
 #[derive(Debug, Default)]
 pub struct Prepared {
-    /// Lines in order (index 0 is line 1).
-    pub lines: Vec<PreparedLine>,
+    /// The lexed token stream plus per-line comment/code maps.
+    pub lex: Lexed,
     /// All suppressions found in comments.
     pub suppressions: Vec<Suppression>,
+    /// 1-based line of the file's first `#[cfg(test)]` attribute;
+    /// `usize::MAX` when the file has no test module. Lines at or past
+    /// the boundary are exempt from R5/R7/R8 accounting (the workspace
+    /// convention is a single trailing test module per file).
+    pub test_boundary: usize,
 }
 
-#[derive(Clone, Copy, PartialEq)]
-enum State {
-    Code,
-    LineComment,
-    BlockComment(u32),
-    Str,
-    RawStr(u8),
-    Char,
-}
-
-/// Strips `source` into per-line code + comment views and extracts
-/// suppression annotations.
+/// Lexes `source` and extracts suppression annotations and the test
+/// boundary.
 pub fn prepare(source: &str) -> Prepared {
-    let mut out = Prepared::default();
-    let mut state = State::Code;
-    let mut cur = PreparedLine::default();
-    let chars: Vec<char> = source.chars().collect();
-    let n = chars.len();
-    let mut i = 0;
-
-    macro_rules! flush_line {
-        () => {{
-            let done = std::mem::take(&mut cur);
-            out.lines.push(done);
-        }};
-    }
-
-    while i < n {
-        let c = chars[i];
-        if c == '\n' {
-            if state == State::LineComment {
-                state = State::Code;
-            }
-            flush_line!();
-            i += 1;
-            continue;
-        }
-        match state {
-            State::Code => {
-                let next = chars.get(i + 1).copied();
-                match (c, next) {
-                    ('/', Some('/')) => {
-                        state = State::LineComment;
-                        i += 2;
-                    }
-                    ('/', Some('*')) => {
-                        state = State::BlockComment(1);
-                        i += 2;
-                    }
-                    ('"', _) => {
-                        cur.code.push('"');
-                        state = State::Str;
-                        i += 1;
-                    }
-                    ('r', Some('"')) | ('r', Some('#')) if !prev_is_ident(&cur.code) => {
-                        // Raw string r"..." or r#"..."# (count the #s).
-                        let mut hashes = 0u8;
-                        let mut j = i + 1;
-                        while chars.get(j) == Some(&'#') {
-                            hashes += 1;
-                            j += 1;
-                        }
-                        if chars.get(j) == Some(&'"') {
-                            cur.code.push('"');
-                            state = State::RawStr(hashes);
-                            i = j + 1;
-                        } else {
-                            cur.code.push(c);
-                            i += 1;
-                        }
-                    }
-                    ('\'', _) => {
-                        // Char literal vs lifetime: a literal closes with
-                        // a quote after one (possibly escaped) character.
-                        if next == Some('\\') {
-                            cur.code.push_str("''");
-                            state = State::Char;
-                            i += 2; // skip the backslash
-                        } else if chars.get(i + 2) == Some(&'\'') {
-                            cur.code.push_str("''");
-                            i += 3;
-                        } else {
-                            // A lifetime like 'a — plain code.
-                            cur.code.push('\'');
-                            i += 1;
-                        }
-                    }
-                    _ => {
-                        cur.code.push(c);
-                        i += 1;
-                    }
-                }
-            }
-            State::LineComment => {
-                cur.comment.push(c);
-                i += 1;
-            }
-            State::BlockComment(depth) => {
-                let next = chars.get(i + 1).copied();
-                match (c, next) {
-                    ('*', Some('/')) => {
-                        state = if depth == 1 {
-                            State::Code
-                        } else {
-                            State::BlockComment(depth - 1)
-                        };
-                        i += 2;
-                    }
-                    ('/', Some('*')) => {
-                        state = State::BlockComment(depth + 1);
-                        i += 2;
-                    }
-                    _ => {
-                        cur.comment.push(c);
-                        i += 1;
-                    }
-                }
-            }
-            State::Str => {
-                let next = chars.get(i + 1).copied();
-                match (c, next) {
-                    ('\\', Some(_)) => i += 2,
-                    ('"', _) => {
-                        cur.code.push('"');
-                        state = State::Code;
-                        i += 1;
-                    }
-                    _ => i += 1,
-                }
-            }
-            State::RawStr(hashes) => {
-                if c == '"' {
-                    let mut ok = true;
-                    for k in 0..hashes as usize {
-                        if chars.get(i + 1 + k) != Some(&'#') {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    if ok {
-                        cur.code.push('"');
-                        state = State::Code;
-                        i += 1 + hashes as usize;
-                        continue;
-                    }
-                }
-                i += 1;
-            }
-            State::Char => {
-                if c == '\'' {
-                    state = State::Code;
-                }
-                i += 1;
-            }
+    let lex = lexer::lex(source);
+    let mut suppressions = Vec::new();
+    for (idx, comment) in lex.comments.iter().enumerate() {
+        if !comment.is_empty() {
+            collect_suppressions(comment, idx + 1, &mut suppressions);
         }
     }
-    flush_line!();
-
-    for (idx, line) in out.lines.iter().enumerate() {
-        collect_suppressions(&line.comment, idx + 1, &mut out.suppressions);
-    }
-    out
+    let test_boundary = find_test_boundary(&lex.tokens);
+    Prepared { lex, suppressions, test_boundary }
 }
 
-fn prev_is_ident(code: &str) -> bool {
-    code.chars()
-        .next_back()
-        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+/// Finds the line of the first `#[cfg(test)]` attribute in the stream.
+fn find_test_boundary(toks: &[Tok]) -> usize {
+    let id = |i: usize, s: &str| {
+        toks.get(i).is_some_and(|t| t.kind == TokKind::Ident && t.text == s)
+    };
+    let p = |i: usize, s: &str| {
+        toks.get(i).is_some_and(|t| t.kind == TokKind::Punct && t.text == s)
+    };
+    let mut i = 0;
+    while i + 6 < toks.len() {
+        if p(i, "#")
+            && p(i + 1, "[")
+            && id(i + 2, "cfg")
+            && p(i + 3, "(")
+            && id(i + 4, "test")
+            && p(i + 5, ")")
+            && p(i + 6, "]")
+        {
+            return toks[i].line;
+        }
+        i += 1;
+    }
+    usize::MAX
 }
 
 /// Parses every `hetlint: allow(<rule>)[ — reason]` in a comment.
+///
+/// Mentions inside inline code spans — an odd number of backticks
+/// before the marker, as in a doc comment quoting the syntax — are
+/// documentation, not annotations, and are skipped.
 fn collect_suppressions(comment: &str, line: usize, out: &mut Vec<Suppression>) {
-    let mut rest = comment;
-    while let Some(pos) = rest.find("hetlint:") {
-        rest = &rest[pos + "hetlint:".len()..];
+    let mut search = 0usize;
+    while let Some(pos) = comment[search..].find("hetlint:") {
+        let at = search + pos;
+        search = at + "hetlint:".len();
+        if comment[..at].matches('`').count() % 2 == 1 {
+            continue;
+        }
+        let rest = &comment[at + "hetlint:".len()..];
         let trimmed = rest.trim_start();
         let Some(after_allow) = trimmed.strip_prefix("allow(") else {
             continue;
@@ -225,11 +100,10 @@ fn collect_suppressions(comment: &str, line: usize, out: &mut Vec<Suppression>) 
             .trim_start_matches([' ', '\t', '—', '-', '–', ':'])
             .trim();
         out.push(Suppression { rule, reason: tail.to_string(), line });
-        rest = &after_allow[close + 1..];
     }
 }
 
-/// Maps rule aliases to canonical keys (`r1`..`r6`).
+/// Maps rule aliases to canonical keys (`r1`..`r9`).
 pub fn normalize_rule(raw: &str) -> String {
     let key = raw.trim().to_ascii_lowercase();
     match key.as_str() {
@@ -239,6 +113,9 @@ pub fn normalize_rule(raw: &str) -> String {
         "thread-spawn" | "threads" => "r4".into(),
         "unwrap" | "unwrap-budget" => "r5".into(),
         "float-ord" | "total-order" => "r6".into(),
+        "stream-collision" | "seed-streams" => "r7".into(),
+        "trace-registry" | "trace-kinds" => "r8".into(),
+        "stale-allow" => "r9".into(),
         _ => key,
     }
 }
@@ -265,20 +142,18 @@ pub fn find_suppression<'p>(
     if let Some(s) = hit(line_no) {
         return Some(s);
     }
-    // Walk up through contiguous comment-only lines.
+    // Walk up through contiguous comment-only lines; a blank line or a
+    // code line ends the attached block.
     let mut l = line_no;
     while l > 1 {
         l -= 1;
-        let idx = l - 1;
-        let line = &prepared.lines[idx];
-        if !line.code.trim().is_empty() {
+        if prepared.lex.code_on(l) {
             break;
         }
         if let Some(s) = hit(l) {
             return Some(s);
         }
-        if line.comment.is_empty() && line.code.trim().is_empty() {
-            // Blank line ends the attached comment block.
+        if prepared.lex.comment_on(l).is_empty() {
             break;
         }
     }
@@ -288,52 +163,6 @@ pub fn find_suppression<'p>(
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn strips_line_comments() {
-        let p = prepare("let x = 1; // HashMap.iter() in a comment\n");
-        assert_eq!(p.lines[0].code.trim_end(), "let x = 1;");
-        assert!(p.lines[0].comment.contains("HashMap.iter()"));
-    }
-
-    #[test]
-    fn strips_block_comments_across_lines() {
-        let p = prepare("a /* one\ntwo */ b\n");
-        assert_eq!(p.lines[0].code, "a ");
-        assert_eq!(p.lines[1].code, " b");
-        assert!(p.lines[0].comment.contains("one"));
-    }
-
-    #[test]
-    fn nested_block_comments() {
-        let p = prepare("x /* a /* b */ c */ y\n");
-        assert_eq!(p.lines[0].code, "x  y");
-    }
-
-    #[test]
-    fn strips_string_contents() {
-        let p = prepare("let s = \"Instant::now() inside\"; call();\n");
-        assert_eq!(p.lines[0].code, "let s = \"\"; call();");
-    }
-
-    #[test]
-    fn handles_escaped_quotes() {
-        let p = prepare("let s = \"a\\\"b\"; next()\n");
-        assert_eq!(p.lines[0].code, "let s = \"\"; next()");
-    }
-
-    #[test]
-    fn raw_strings() {
-        let p = prepare("let s = r#\"thread::spawn\"#; f()\n");
-        assert_eq!(p.lines[0].code, "let s = \"\"; f()");
-    }
-
-    #[test]
-    fn char_literals_and_lifetimes() {
-        let p = prepare("fn f<'a>(c: char) { if c == 'x' || c == '\\'' {} }\n");
-        assert!(p.lines[0].code.contains("fn f<'a>"));
-        assert!(!p.lines[0].code.contains('x'));
-    }
 
     #[test]
     fn parses_suppression_with_reason() {
@@ -361,9 +190,53 @@ mod tests {
     }
 
     #[test]
+    fn blank_line_ends_the_attached_comment_block() {
+        let src = "// hetlint: allow(r4) — detached\n\nthread::spawn(f);\n";
+        let p = prepare(src);
+        assert!(!is_suppressed(&p, "r4", 3));
+    }
+
+    #[test]
+    fn suppression_inside_string_does_not_suppress() {
+        let src = "let s = \"// hetlint: allow(r1) — nope\";\n";
+        let p = prepare(src);
+        assert!(p.suppressions.is_empty());
+    }
+
+    #[test]
+    fn backticked_mention_is_documentation_not_annotation() {
+        let src = "// see `hetlint: allow(r5)` for the syntax\nx.unwrap();\n";
+        let p = prepare(src);
+        assert!(p.suppressions.is_empty());
+        // But a genuine annotation after an even number of ticks parses.
+        let src2 = "// `ratchet` note — hetlint: allow(r5) — invariant abort\nx.unwrap();\n";
+        let p2 = prepare(src2);
+        assert_eq!(p2.suppressions.len(), 1);
+    }
+
+    #[test]
     fn rule_aliases_normalize() {
         assert_eq!(normalize_rule("Hash-Iteration"), "r3");
         assert_eq!(normalize_rule("R5"), "r5");
         assert_eq!(normalize_rule("entropy"), "r2");
+        assert_eq!(normalize_rule("stream-collision"), "r7");
+        assert_eq!(normalize_rule("trace-registry"), "r8");
+        assert_eq!(normalize_rule("stale-allow"), "r9");
+    }
+
+    #[test]
+    fn test_boundary_found_and_respected() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {}\n";
+        let p = prepare(src);
+        assert_eq!(p.test_boundary, 2);
+        let p2 = prepare("fn f() {}\n");
+        assert_eq!(p2.test_boundary, usize::MAX);
+    }
+
+    #[test]
+    fn cfg_test_inside_string_is_not_a_boundary() {
+        let src = "let s = \"#[cfg(test)]\";\nfn f() {}\n";
+        let p = prepare(src);
+        assert_eq!(p.test_boundary, usize::MAX);
     }
 }

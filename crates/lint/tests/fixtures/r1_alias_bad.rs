@@ -1,0 +1,14 @@
+//! R1 regression: an aliased import of a banned type. The substring
+//! scanner only knew the literal names `Instant`/`SystemTime`, so the
+//! call sites through `Wall` below were invisible to it; the token
+//! analyzer tracks `use … as` renames.
+
+use std::time::Instant as Wall;
+
+pub fn measure() -> f64 {
+    let start = Wall::now();
+    work();
+    start.elapsed().as_secs_f64()
+}
+
+fn work() {}

@@ -1,0 +1,14 @@
+//! R3 regression: a chain wrapped across three lines. The old scanner
+//! joined only two adjacent lines, so this exact shape — name, borrow
+//! hop, and iteration method each on their own line — sailed through.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+pub fn drain(route: &RefCell<HashMap<String, u64>>) -> u64 {
+    route
+        .borrow()
+        .iter()
+        .map(|(_, v)| *v)
+        .sum()
+}

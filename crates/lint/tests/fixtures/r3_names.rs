@@ -1,0 +1,37 @@
+//! R3 name-tracking regressions for `declared_name`'s replacement.
+//!
+//! The old helper stripped every generic wrapper indiscriminately, so
+//! `let scores: Vec<HashMap<…>>` registered `scores` as a hash
+//! container — iterating a Vec of maps is deterministic, yet it was
+//! flagged. It also mis-handled tuple patterns, attributing the
+//! container to the wrong element. The token analyzer resolves both.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn vec_of_maps(inputs: &[(String, f64)]) -> usize {
+    // `scores` is a Vec; iterating it is fine (old false positive).
+    let scores: Vec<HashMap<String, f64>> = build(inputs);
+    scores.iter().count()
+}
+
+pub fn ascribed(inputs: &[(String, f64)]) -> usize {
+    // `m` IS a hash container; iterating it must be flagged.
+    let m: HashMap<String, f64> = inputs.iter().cloned().collect();
+    m.iter().count()
+}
+
+pub fn tuple_pattern() -> usize {
+    // The container is the FIRST element: `lookup` must be tracked,
+    // `order` (a BTreeMap) must not.
+    let (lookup, order) = (HashMap::new(), BTreeMap::new());
+    seed(&lookup, &order);
+    let a = lookup.iter().count(); // flagged
+    let b = order.iter().count(); // clean
+    a + b
+}
+
+fn build(_inputs: &[(String, f64)]) -> Vec<HashMap<String, f64>> {
+    Vec::new()
+}
+
+fn seed(_a: &HashMap<u32, u32>, _b: &BTreeMap<u32, u32>) {}

@@ -1,0 +1,14 @@
+//! R3 regression: `for k in route.keys()` matched BOTH the old
+//! method-iteration check and the old `for … in` check, producing two
+//! reports for one loop. The token analyzer attributes it to the chain
+//! check alone: exactly one violation.
+
+use std::collections::HashMap;
+
+pub fn visit(route: &HashMap<String, u64>) {
+    for k in route.keys() {
+        log(k);
+    }
+}
+
+fn log(_k: &str) {}

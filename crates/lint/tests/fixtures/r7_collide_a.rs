@@ -1,0 +1,15 @@
+//! R7 fixture, file A: derives the stream "policy-noise" — so does
+//! file B, which makes the two sequences identical (correlated
+//! randomness). Also derives a unique name that must stay clean.
+
+use crate::rng::SimRng;
+
+pub fn jitter(seed: u64) -> f64 {
+    let mut rng = SimRng::stream(seed, "policy-noise");
+    rng.next_f64()
+}
+
+pub fn warmup(seed: u64) -> f64 {
+    let mut rng = SimRng::stream(seed, "warmup-unique");
+    rng.next_f64()
+}

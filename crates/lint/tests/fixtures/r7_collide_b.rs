@@ -1,0 +1,7 @@
+//! R7 fixture, file B: reuses the stream name "policy-noise" from file
+//! A. Both sites must be flagged; method-style derivation counts too.
+
+pub fn perturb(master: &mut crate::rng::SimRng) -> f64 {
+    let mut rng = master.stream("policy-noise");
+    rng.next_f64()
+}

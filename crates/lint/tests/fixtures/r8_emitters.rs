@@ -1,0 +1,11 @@
+//! R8 fixture: emit sites. One goes through a registered constant
+//! (clean), one references a constant absent from the registry, one
+//! uses an ad-hoc string literal.
+
+use crate::trace::{kinds, Tracer};
+
+pub fn lifecycle(tracer: &Tracer, t: u64, id: u64) {
+    tracer.emit(t, "thinker", kinds::TASK_CREATED, id, 0.0);
+    tracer.emit(t, "thinker", kinds::UNKNOWN_KIND, id, 0.0);
+    tracer.emit(t, "worker/0", "ad_hoc_kind", id, 1.0);
+}

@@ -1,0 +1,14 @@
+//! R8 fixture: a stand-in trace module. `TASK_CREATED` is emitted by
+//! the emitter fixture; `DEAD_KIND` is registered but never emitted and
+//! must be flagged at its declaration.
+
+pub mod kinds {
+    pub const TASK_CREATED: &str = "task_created";
+    pub const DEAD_KIND: &str = "dead_kind";
+}
+
+pub struct Tracer;
+
+impl Tracer {
+    pub fn emit(&self, _t: u64, _actor: &str, _kind: &'static str, _entity: u64, _value: f64) {}
+}

@@ -1,0 +1,14 @@
+//! R9 fixture: the code below was migrated to `BTreeMap`, but the
+//! suppression that once covered a `HashMap` iteration was left
+//! behind. It now covers nothing and must be flagged as stale.
+
+use std::collections::BTreeMap;
+
+pub fn totals(route: &BTreeMap<String, u64>) -> u64 {
+    // hetlint: allow(r3) — iteration was sorted downstream (obsolete)
+    route.iter().map(|(_, v)| *v).sum()
+}
+
+/// Doc mentions of the syntax, like `hetlint: allow(<rule>) — <why>`,
+/// are not annotations and must not be flagged.
+pub fn documented() {}

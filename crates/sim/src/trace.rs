@@ -32,6 +32,24 @@ pub mod kinds {
     pub const TASK_TIMEOUT: &str = "task_timeout";
     /// Thinker received a result envelope.
     pub const RESULT_RECEIVED: &str = "result_received";
+
+    /// Every registered kind, in declaration order.
+    ///
+    /// hetlint (rule R8) cross-checks this module against every
+    /// `emit(..)` site in the workspace — a kind emitted but not
+    /// declared here, or declared here but never emitted, fails the
+    /// static-analysis gate. The slice lets consumers (lifecycle
+    /// accounting, figure harnesses) enumerate the registry without
+    /// hand-maintained lists.
+    pub const ALL: &[&str] = &[
+        TASK_CREATED,
+        TASK_STARTED,
+        TASK_RETRY,
+        TASK_FINISHED,
+        TASK_FAILED,
+        TASK_TIMEOUT,
+        RESULT_RECEIVED,
+    ];
 }
 
 /// One trace record: what happened, where, when, and to which entity.
@@ -197,6 +215,20 @@ mod tests {
         d.emit(SimTime::from_secs(1), "ws", "tart", 1, 0.5);
         d.emit(SimTime::from_secs(2), "w", "stop", 1, 0.0);
         assert_ne!(a.digest(), d.digest(), "field boundaries must matter");
+    }
+
+    #[test]
+    fn kind_registry_is_unique_and_well_formed() {
+        for (i, a) in kinds::ALL.iter().enumerate() {
+            assert!(!a.is_empty());
+            assert!(
+                a.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "kind {a:?} must be snake_case"
+            );
+            for b in kinds::ALL.iter().skip(i + 1) {
+                assert_ne!(a, b, "duplicate registered kind");
+            }
+        }
     }
 
     #[test]

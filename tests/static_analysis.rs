@@ -3,10 +3,11 @@
 //!
 //! This is the same pass `cargo run -p hetflow-lint` performs, embedded
 //! as an integration test so a wall-clock read, ambient entropy source,
-//! hash-order iteration, stray thread spawn, unwrap-budget overrun, or
-//! ad-hoc float ordering fails `cargo test` directly. See DESIGN.md
-//! "Determinism rules" for the rule catalogue and the
-//! `// hetlint: allow(<rule>) — <reason>` suppression syntax.
+//! hash-order iteration, stray thread spawn, unwrap-budget overrun,
+//! ad-hoc float ordering, seed-stream name collision (R7), trace-kind
+//! registry drift (R8), or stale suppression (R9) fails `cargo test`
+//! directly. See DESIGN.md "Determinism rules" for the rule catalogue
+//! and the `// hetlint: allow(<rule>) — <reason>` suppression syntax.
 
 use std::path::Path;
 
@@ -40,4 +41,69 @@ fn suppressions_all_carry_reasons() {
     let report = hetflow_lint::run(root).expect("workspace walk failed");
     let bad: Vec<String> = report.bad_allows.iter().map(|v| v.to_string()).collect();
     assert!(bad.is_empty(), "reason-less hetlint allows:\n{}", bad.join("\n"));
+}
+
+#[test]
+fn trace_kind_registry_is_parsed_from_the_real_module() {
+    // R8 silently skips when no registry is in scope, so this pins the
+    // extraction against the real crates/sim/src/trace.rs: if the
+    // declaration shape ever drifts from `const NAME: &str = "kind";`,
+    // this fails rather than R8 going quiet.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let path = root.join("crates/sim/src/trace.rs");
+    let source = std::fs::read_to_string(&path).expect("read trace.rs");
+    let ctx = hetflow_lint::classify("crates/sim/src/trace.rs").expect("classify trace.rs");
+    assert!(ctx.is_trace_module());
+    let linted = hetflow_lint::lint_file(&ctx, &source);
+    assert!(
+        linted.registry.len() >= 7,
+        "trace-kind registry extraction broke: found {:?}",
+        linted.registry
+    );
+}
+
+#[test]
+fn ratchet_file_present_and_well_formed() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let budgets = hetflow_lint::ratchet::load(root).expect("hetlint.ratchet must load");
+    assert!(budgets.budget_for("sim").is_some(), "sim missing from hetlint.ratchet");
+    assert_eq!(
+        budgets.budget_for("lint"),
+        Some(0),
+        "the lint crate polices itself at budget 0"
+    );
+}
+
+#[test]
+fn json_report_of_real_workspace_round_trips() {
+    // The CI gate consumes `hetlint --format json`; this is the same
+    // serialize→parse round trip over the real tree.
+    use hetflow_lint::json;
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = hetflow_lint::run(root).expect("workspace walk failed");
+    let doc = json::report_to_json(&report);
+    let v = json::parse(&doc).expect("report JSON must parse");
+    assert_eq!(v.get("tool").and_then(json::Value::as_str), Some("hetlint"));
+    assert_eq!(
+        v.get("clean").and_then(json::Value::as_bool),
+        Some(report.clean())
+    );
+    assert_eq!(
+        v.get("files_scanned").and_then(json::Value::as_u64),
+        Some(report.files_scanned as u64)
+    );
+    let rows = v
+        .get("unwrap_budget")
+        .and_then(json::Value::as_arr)
+        .expect("unwrap_budget array");
+    assert_eq!(rows.len(), report.unwrap_rows.len());
+    for (row, (name, count, budget)) in rows.iter().zip(&report.unwrap_rows) {
+        assert_eq!(row.get("crate").and_then(json::Value::as_str), Some(name.as_str()));
+        assert_eq!(row.get("count").and_then(json::Value::as_u64), Some(*count as u64));
+        assert_eq!(row.get("budget").and_then(json::Value::as_u64), Some(*budget as u64));
+        assert_eq!(
+            row.get("over").and_then(json::Value::as_bool),
+            Some(count > budget)
+        );
+    }
 }
