@@ -145,6 +145,8 @@ impl NoopPipeline {
             failure: None,
             retry: hetflow_fabric::RetryPolicies::default(),
             start_delays: Vec::new(),
+            pace: hetflow_fabric::Knob::new(1.0),
+            crash: hetflow_fabric::Knob::new(0.0),
         };
 
         let (results_tx, results_rx) = channel();

@@ -12,8 +12,8 @@
 use crate::calibration::Calibration;
 use crate::platform::{all_topics, CPU_TOPICS, GPU_TOPICS, THETA, VENTI};
 use hetflow_fabric::{
-    EndpointSpec, Fabric, FnXExecutor, HtexEndpoint, HtexExecutor, TaskResult, WorkerPool,
-    WorkerPoolConfig,
+    ChaosTargets, EndpointSpec, Fabric, FnXExecutor, HtexEndpoint, HtexExecutor, Knob,
+    ReliabilityLayer, TaskResult, WorkerPool, WorkerPoolConfig,
 };
 use hetflow_steer::{ClientQueues, QueueConfig, TaskServer};
 use hetflow_store::{
@@ -80,6 +80,16 @@ pub struct DeploymentSpec {
     pub cpu_connectivity: hetflow_fabric::Connectivity,
     /// GPU endpoint connectivity.
     pub gpu_connectivity: hetflow_fabric::Connectivity,
+    /// Per-topic circuit-breaker / hedging / failover policies. The
+    /// all-zero default disables every mechanism (PR-2 behavior).
+    pub reliability: hetflow_fabric::ReliabilityPolicies,
+    /// Extra CPU endpoints registered as failover targets behind the
+    /// primary Theta endpoint (FnX configuration only). Each gets a
+    /// small pool (`cpu_workers` slots) labelled `theta-f{i}`.
+    pub cpu_failover_sites: usize,
+    /// Connectivity for the failover endpoints, matched by index;
+    /// missing entries default to always-on.
+    pub failover_connectivity: Vec<hetflow_fabric::Connectivity>,
 }
 
 impl Default for DeploymentSpec {
@@ -94,6 +104,9 @@ impl Default for DeploymentSpec {
             retry: hetflow_fabric::RetryPolicies::default(),
             cpu_connectivity: hetflow_fabric::Connectivity::always_on(),
             gpu_connectivity: hetflow_fabric::Connectivity::always_on(),
+            reliability: hetflow_fabric::ReliabilityPolicies::default(),
+            cpu_failover_sites: 0,
+            failover_connectivity: Vec::new(),
         }
     }
 }
@@ -112,6 +125,14 @@ pub struct Deployment {
     pub remote_store: Option<Store>,
     /// The Globus transfer service, in the FnX+Globus configuration.
     pub globus: Option<GlobusService>,
+    /// The fabric's reliability layer: breaker state, hedge/reroute
+    /// counters, and breaker-transition observers.
+    pub health: ReliabilityLayer,
+    /// Chaos-engine dials for every endpoint/pool in this deployment —
+    /// hand these to [`hetflow_fabric::ChaosSpec::install`].
+    pub chaos: ChaosTargets,
+    /// Failover CPU pools (`cpu_failover_sites` of them), in order.
+    pub failover_pools: Vec<WorkerPool>,
     /// Which configuration was deployed.
     pub config: WorkflowConfig,
 }
@@ -191,6 +212,8 @@ pub fn deploy(
         failure: spec.failure.clone(),
         retry: spec.retry.clone(),
         start_delays: Vec::new(),
+        pace: Knob::new(1.0),
+        crash: Knob::new(0.0),
     };
     let gpu_pool_config = WorkerPoolConfig {
         site: VENTI,
@@ -202,13 +225,17 @@ pub fn deploy(
         failure: spec.failure.clone(),
         retry: spec.retry.clone(),
         start_delays: Vec::new(),
+        pace: Knob::new(1.0),
+        crash: Knob::new(0.0),
     };
 
     // --- Fabric ------------------------------------------------------------
     let (results_tx, results_rx): (_, Receiver<TaskResult>) = channel();
-    let (fabric, cpu_pool, gpu_pool): (Rc<dyn Fabric>, WorkerPool, WorkerPool) = match config {
+    type Wired =
+        (Rc<dyn Fabric>, WorkerPool, WorkerPool, Vec<WorkerPool>, ReliabilityLayer, ChaosTargets);
+    let (fabric, cpu_pool, gpu_pool, failover_pools, health, chaos): Wired = match config {
         WorkflowConfig::Parsl | WorkflowConfig::ParslRedis => {
-            let exec = HtexExecutor::new(
+            let exec = HtexExecutor::with_reliability(
                 sim,
                 cal.htex.clone(),
                 vec![
@@ -226,32 +253,62 @@ pub fn deploy(
                 results_tx,
                 rng.substream(5),
                 tracer.clone(),
+                spec.reliability.clone(),
             );
             let pools = exec.pools().to_vec();
-            (Rc::new(exec), pools[0].clone(), pools[1].clone())
+            let (health, chaos) = (exec.health(), exec.chaos_targets());
+            (Rc::new(exec), pools[0].clone(), pools[1].clone(), Vec::new(), health, chaos)
         }
         WorkflowConfig::FnXGlobus => {
-            let exec = FnXExecutor::new(
+            let mut endpoints = vec![
+                EndpointSpec {
+                    pool: cpu_pool_config.clone(),
+                    topics: CPU_TOPICS.to_vec(),
+                    connectivity: spec.cpu_connectivity.clone(),
+                },
+                EndpointSpec {
+                    pool: gpu_pool_config,
+                    topics: GPU_TOPICS.to_vec(),
+                    connectivity: spec.gpu_connectivity.clone(),
+                },
+            ];
+            // Failover CPU endpoints: registered after the primary, so
+            // the reliability layer only routes to them when the
+            // primary's breaker is open (or a reroute/hedge fires).
+            for i in 0..spec.cpu_failover_sites {
+                let mut pool = cpu_pool_config.clone();
+                pool.label = format!("theta-f{i}");
+                pool.pace = Knob::new(1.0);
+                pool.crash = Knob::new(0.0);
+                endpoints.push(EndpointSpec {
+                    pool,
+                    topics: CPU_TOPICS.to_vec(),
+                    connectivity: spec
+                        .failover_connectivity
+                        .get(i)
+                        .cloned()
+                        .unwrap_or_else(hetflow_fabric::Connectivity::always_on),
+                });
+            }
+            let exec = FnXExecutor::with_reliability(
                 sim,
                 cal.fnx.clone(),
-                vec![
-                    EndpointSpec {
-                        pool: cpu_pool_config,
-                        topics: CPU_TOPICS.to_vec(),
-                        connectivity: spec.cpu_connectivity.clone(),
-                    },
-                    EndpointSpec {
-                        pool: gpu_pool_config,
-                        topics: GPU_TOPICS.to_vec(),
-                        connectivity: spec.gpu_connectivity.clone(),
-                    },
-                ],
+                endpoints,
                 results_tx,
                 rng.substream(5),
                 tracer.clone(),
+                spec.reliability.clone(),
             );
             let pools = exec.pools().to_vec();
-            (Rc::new(exec), pools[0].clone(), pools[1].clone())
+            let (health, chaos) = (exec.health(), exec.chaos_targets());
+            (
+                Rc::new(exec),
+                pools[0].clone(),
+                pools[1].clone(),
+                pools[2..].to_vec(),
+                health,
+                chaos,
+            )
         }
     };
 
@@ -279,6 +336,9 @@ pub fn deploy(
         local_store,
         remote_store,
         globus: globus_service,
+        health,
+        chaos,
+        failover_pools,
         config,
     }
 }

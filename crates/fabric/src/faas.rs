@@ -14,7 +14,9 @@
 //! ~10× at 1 MB when proxied) are reproduced.
 
 use crate::fabric::Fabric;
-use crate::reliability::RetryPolicies;
+use crate::health::{ReliabilityLayer, ReliabilityPolicies, TimeoutVerdict, Verdict};
+use crate::reliability::chaos::ChaosTargets;
+use crate::reliability::{Knob, RetryPolicies};
 use crate::task::{Arg, TaskError, TaskOutcome, TaskResult, TaskSpec, WorkerReport};
 use crate::worker::{WorkerPool, WorkerPoolConfig};
 use hetflow_sim::{channel, trace_kinds as kinds, Dist, Sender, Sim, SimRng, Tracer};
@@ -23,6 +25,18 @@ use std::collections::BTreeMap;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
+use std::time::Duration;
+
+/// Scales a sampled delay by a chaos knob, skipping the multiply when
+/// the knob is neutral so untouched knobs change nothing.
+fn scaled(d: Duration, knob: &Knob) -> Duration {
+    let f = knob.get();
+    if f != 1.0 {
+        d.mul_f64(f.max(0.0))
+    } else {
+        d
+    }
+}
 
 /// Tunables of the cloud FaaS model.
 #[derive(Clone, Debug)]
@@ -99,10 +113,14 @@ struct Inner {
     sim: Sim,
     params: FnXParams,
     rng: RefCell<SimRng>,
-    route: BTreeMap<String, usize>,
+    health: ReliabilityLayer,
     pools: Vec<WorkerPool>,
     connectivity: Vec<crate::reliability::Connectivity>,
     retries: Vec<RetryPolicies>,
+    /// Per-endpoint link-degradation dials (chaos-engine targets).
+    brownout: Vec<Knob>,
+    /// Cloud-service degradation dial (chaos-engine target).
+    cloud: Knob,
     results: Sender<TaskResult>,
     tracer: Tracer,
     submitted: Cell<u64>,
@@ -119,7 +137,9 @@ pub struct FnXExecutor {
 
 impl FnXExecutor {
     /// Builds the executor, spawning one worker pool per endpoint.
-    /// Completed results are delivered on `results`.
+    /// Completed results are delivered on `results`. Reliability
+    /// mechanisms (breakers, hedging, rerouting) are disabled — see
+    /// [`FnXExecutor::with_reliability`].
     pub fn new(
         sim: &Sim,
         params: FnXParams,
@@ -128,15 +148,40 @@ impl FnXExecutor {
         rng: SimRng,
         tracer: Tracer,
     ) -> FnXExecutor {
-        let mut route = BTreeMap::new();
+        Self::with_reliability(
+            sim,
+            params,
+            endpoints,
+            results,
+            rng,
+            tracer,
+            ReliabilityPolicies::default(),
+        )
+    }
+
+    /// Builds the executor with an active [`ReliabilityLayer`]: a topic
+    /// registered on several endpoints fails over (the first
+    /// registration is the primary, later ones are failover
+    /// candidates), breakers steer dispatches away from unhealthy
+    /// endpoints, and hedged/rerouted copies deliver exactly once.
+    pub fn with_reliability(
+        sim: &Sim,
+        params: FnXParams,
+        endpoints: Vec<EndpointSpec>,
+        results: Sender<TaskResult>,
+        rng: SimRng,
+        tracer: Tracer,
+        policies: ReliabilityPolicies,
+    ) -> FnXExecutor {
+        let mut route: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         let mut pools = Vec::new();
         let mut connectivity = Vec::new();
         let mut retries = Vec::new();
+        let mut brownout = Vec::new();
         let mut pool_streams = Vec::new();
         for (i, ep) in endpoints.into_iter().enumerate() {
             for topic in &ep.topics {
-                let prev = route.insert((*topic).to_owned(), i);
-                assert!(prev.is_none(), "topic {topic} routed to two endpoints");
+                route.entry((*topic).to_owned()).or_default().push(i);
             }
             let (pool_res_tx, pool_res_rx) = channel::<TaskResult>();
             retries.push(ep.pool.retry.clone());
@@ -144,16 +189,21 @@ impl FnXExecutor {
                 WorkerPool::spawn(sim, ep.pool, pool_res_tx, &rng.substream(i as u64), tracer.clone());
             pools.push(pool);
             connectivity.push(ep.connectivity);
+            brownout.push(Knob::new(1.0));
             pool_streams.push(pool_res_rx);
         }
+        let health =
+            ReliabilityLayer::new(sim, tracer.clone(), "fnx", policies, route, &connectivity);
         let inner = Rc::new(Inner {
             sim: sim.clone(),
             params,
             rng: RefCell::new(rng.substream(u64::MAX)),
-            route,
+            health,
             pools,
             connectivity,
             retries,
+            brownout,
+            cloud: Knob::new(1.0),
             results,
             tracer,
             submitted: Cell::new(0),
@@ -181,6 +231,24 @@ impl FnXExecutor {
         &self.inner.pools
     }
 
+    /// The reliability layer (breaker state, hedge/reroute counters).
+    pub fn health(&self) -> ReliabilityLayer {
+        self.inner.health.clone()
+    }
+
+    /// The chaos-engine handles of this deployment: endpoint
+    /// connectivity, per-pool pace/crash dials, per-endpoint link
+    /// brownout dials, and the cloud-service degradation dial.
+    pub fn chaos_targets(&self) -> ChaosTargets {
+        ChaosTargets {
+            connectivity: self.inner.connectivity.clone(),
+            pace: self.inner.pools.iter().map(WorkerPool::pace_knob).collect(),
+            crash: self.inner.pools.iter().map(WorkerPool::crash_knob).collect(),
+            brownout: self.inner.brownout.clone(),
+            cloud: Some(self.inner.cloud.clone()),
+        }
+    }
+
     /// Tasks submitted so far.
     pub fn submitted(&self) -> u64 {
         self.inner.submitted.get()
@@ -203,8 +271,10 @@ impl FnXExecutor {
 
     /// Races the delivery against the topic's `RetryPolicy::timeout`.
     /// A task stuck in the cloud past its deadline (e.g. behind an
-    /// endpoint outage) fails with `TaskError::Timeout` instead of
-    /// waiting forever; the failure rides the normal result channel.
+    /// endpoint outage) is handed to the reliability layer, which
+    /// either reroutes it to another endpoint (within the topic's
+    /// `max_reroutes` budget) or fails it with `TaskError::Timeout`;
+    /// the failure rides the normal result channel.
     async fn deliver(inner: Rc<Inner>, task: TaskSpec, endpoint: usize) {
         let deadline = inner.retries[endpoint].policy_for(&task.topic).timeout;
         let Some(deadline) = deadline else {
@@ -217,24 +287,36 @@ impl FnXExecutor {
         let input_bytes = task.args.iter().map(Arg::data_bytes).sum();
         let attempt = Box::pin(Self::deliver_inner(Rc::clone(&inner), task, endpoint));
         if inner.sim.timeout(deadline, attempt).await.is_err() {
-            let now = inner.sim.now();
-            let actor = format!("fnx/ep{endpoint}");
-            inner.tracer.emit(now, &actor, kinds::TASK_TIMEOUT, id, deadline.as_secs_f64());
-            timing.server_result_received = Some(now);
-            inner.timed_out.set(inner.timed_out.get() + 1);
-            inner.returned.set(inner.returned.get() + 1);
-            let result = TaskResult {
-                id,
-                topic,
-                output: Arg::inline((), 0),
-                input_bytes,
-                report: WorkerReport::default(),
-                timing,
-                site: inner.pools[endpoint].site(),
-                worker: actor,
-                outcome: TaskOutcome::Failed(TaskError::Timeout { after: deadline }),
-            };
-            let _ = inner.results.send_now(result);
+            match inner.health.on_timeout(endpoint, id, &topic) {
+                TimeoutVerdict::Reroute { spec, to } => {
+                    let inner2 = Rc::clone(&inner);
+                    // Boxed to break the deliver → deliver type cycle.
+                    let redo: Pin<Box<dyn Future<Output = ()>>> =
+                        Box::pin(Self::deliver(inner2, *spec, to));
+                    inner.sim.spawn(redo);
+                }
+                TimeoutVerdict::Suppress => {}
+                TimeoutVerdict::Fail => {
+                    let now = inner.sim.now();
+                    let actor = format!("fnx/ep{endpoint}");
+                    inner.tracer.emit(now, &actor, kinds::TASK_TIMEOUT, id, deadline.as_secs_f64());
+                    timing.server_result_received = Some(now);
+                    inner.timed_out.set(inner.timed_out.get() + 1);
+                    inner.returned.set(inner.returned.get() + 1);
+                    let result = TaskResult {
+                        id,
+                        topic,
+                        output: Arg::inline((), 0),
+                        input_bytes,
+                        report: WorkerReport::default(),
+                        timing,
+                        site: inner.pools[endpoint].site(),
+                        worker: actor,
+                        outcome: TaskOutcome::Failed(TaskError::Timeout { after: deadline }),
+                    };
+                    let _ = inner.results.send_now(result);
+                }
+            }
         }
     }
 
@@ -242,14 +324,16 @@ impl FnXExecutor {
         let bytes = task.wire_bytes();
         // Cloud stores the payload, forwards the invocation, endpoint
         // fetches the payload. While the endpoint is offline the cloud
-        // simply holds the task (§IV-A3).
+        // simply holds the task (§IV-A3). The cloud knob degrades the
+        // service's own operations; the endpoint's brownout knob
+        // degrades its link legs.
         let put = inner.params.store_op(&mut inner.rng.borrow_mut(), bytes);
-        inner.sim.sleep(put).await;
+        inner.sim.sleep(scaled(put, &inner.cloud)).await;
         inner.connectivity[endpoint].wait_online().await;
         let fwd = inner.params.forward_latency.sample_secs(&mut inner.rng.borrow_mut());
-        inner.sim.sleep(fwd).await;
+        inner.sim.sleep(scaled(scaled(fwd, &inner.cloud), &inner.brownout[endpoint])).await;
         let get = inner.params.store_op(&mut inner.rng.borrow_mut(), bytes);
-        inner.sim.sleep(get).await;
+        inner.sim.sleep(scaled(scaled(get, &inner.cloud), &inner.brownout[endpoint])).await;
         inner.payload_bytes.set(inner.payload_bytes.get() + 2 * bytes);
         let _ = inner.pools[endpoint].tasks.send_now(task);
     }
@@ -260,15 +344,33 @@ impl FnXExecutor {
         // the cloud notifies the client, which fetches it.
         inner.connectivity[endpoint].wait_online().await;
         let put = inner.params.store_op(&mut inner.rng.borrow_mut(), bytes);
-        inner.sim.sleep(put).await;
+        inner.sim.sleep(scaled(scaled(put, &inner.cloud), &inner.brownout[endpoint])).await;
         let lat = inner.params.result_latency.sample_secs(&mut inner.rng.borrow_mut());
-        inner.sim.sleep(lat).await;
+        inner.sim.sleep(scaled(lat, &inner.cloud)).await;
         let get = inner.params.store_op(&mut inner.rng.borrow_mut(), bytes);
-        inner.sim.sleep(get).await;
+        inner.sim.sleep(scaled(get, &inner.cloud)).await;
         inner.payload_bytes.set(inner.payload_bytes.get() + 2 * bytes);
-        result.timing.server_result_received = Some(inner.sim.now());
-        inner.returned.set(inner.returned.get() + 1);
-        let _ = inner.results.send_now(result);
+        // Exactly-once arbitration happens here, *after* the full
+        // return path: a winner stuck behind a dead connection never
+        // reaches this point, so a healthy hedge copy takes the race.
+        let waste = result.report.compute_time.as_secs_f64()
+            + result.report.wasted_time.as_secs_f64();
+        match inner.health.on_result(
+            endpoint,
+            result.id,
+            &result.topic,
+            result.is_failed(),
+            waste,
+        ) {
+            Verdict::Deliver { hedges, reroutes } => {
+                result.report.hedges = hedges;
+                result.report.reroutes = reroutes;
+                result.timing.server_result_received = Some(inner.sim.now());
+                inner.returned.set(inner.returned.get() + 1);
+                let _ = inner.results.send_now(result);
+            }
+            Verdict::Suppress => {}
+        }
     }
 }
 
@@ -285,17 +387,74 @@ impl Fabric for FnXExecutor {
                 inner.params.payload_cap,
                 task.topic,
             );
-            let &endpoint = inner
-                .route
-                .get(&task.topic)
+            task.timing.dispatched = Some(inner.sim.now());
+            // Register the dispatch with the reliability layer, which
+            // picks the endpoint (breaker-aware when configured; the
+            // primary otherwise).
+            let endpoint = inner
+                .health
+                .admit(&task)
                 // hetlint: allow(r5) — unrouted topic is a deployment wiring bug, not a runtime fault
                 .unwrap_or_else(|| panic!("no endpoint registered for topic {}", task.topic));
-            task.timing.dispatched = Some(inner.sim.now());
             // The client pays the HTTPS round trip; the rest of the
             // journey proceeds in the cloud.
             let https = inner.params.https_latency.sample_secs(&mut inner.rng.borrow_mut());
             inner.sim.sleep(https).await;
             inner.submitted.set(inner.submitted.get() + 1);
+            let id = task.id;
+            let topic = task.topic.clone();
+            let input_bytes = task.args.iter().map(Arg::data_bytes).sum();
+            let timing = task.timing;
+            // Hedge watchdog: after the topic's quantile-based delay,
+            // re-issue straggling tasks to another endpoint (first
+            // result wins; the layer cancels the loser).
+            if let Some(delay) = inner.health.hedge_delay(&topic) {
+                let inner2 = Rc::clone(inner);
+                let topic2 = topic.clone();
+                inner.sim.spawn(async move {
+                    loop {
+                        inner2.sim.sleep(delay).await;
+                        let Some((spec, to)) = inner2.health.try_hedge(id, &topic2) else {
+                            break;
+                        };
+                        let inner3 = Rc::clone(&inner2);
+                        inner2.sim.spawn(async move {
+                            FnXExecutor::deliver(inner3, spec, to).await;
+                        });
+                    }
+                });
+            }
+            // Deadline watchdog: the hard round-trip backstop — a task
+            // with no terminal outcome by the deadline is failed here;
+            // copies still in flight are cancelled as they surface.
+            if let Some(dl) = inner.health.deadline(&topic) {
+                let inner2 = Rc::clone(inner);
+                let topic2 = topic.clone();
+                inner.sim.spawn(async move {
+                    inner2.sim.sleep(dl).await;
+                    if inner2.health.expire(id) {
+                        let now = inner2.sim.now();
+                        let actor = format!("fnx/ep{endpoint}");
+                        inner2.tracer.emit(now, &actor, kinds::TASK_TIMEOUT, id, dl.as_secs_f64());
+                        let mut timing = timing;
+                        timing.server_result_received = Some(now);
+                        inner2.timed_out.set(inner2.timed_out.get() + 1);
+                        inner2.returned.set(inner2.returned.get() + 1);
+                        let result = TaskResult {
+                            id,
+                            topic: topic2,
+                            output: Arg::inline((), 0),
+                            input_bytes,
+                            report: WorkerReport::default(),
+                            timing,
+                            site: inner2.pools[endpoint].site(),
+                            worker: actor,
+                            outcome: TaskOutcome::Failed(TaskError::Timeout { after: dl }),
+                        };
+                        let _ = inner2.results.send_now(result);
+                    }
+                });
+            }
             let inner2 = Rc::clone(inner);
             inner.sim.spawn(async move {
                 FnXExecutor::deliver(inner2, task, endpoint).await;
@@ -485,6 +644,188 @@ mod tests {
         // The deadline — not the (never-ending) outage — bounds the run:
         // 0.1 s HTTPS + 30 s deadline.
         assert!(r.end.as_secs_f64() < 31.0, "end {}", r.end);
+    }
+
+    #[test]
+    fn timeout_reroutes_to_failover_endpoint() {
+        // Endpoint 0 (primary) is dark; the topic's reroute budget lets
+        // the delivery timeout re-dispatch to endpoint 1 instead of
+        // failing — the task completes there, stamped reroutes=1.
+        let sim = Sim::new();
+        let (res_tx, res_rx) = channel();
+        let mut pool_a = WorkerPoolConfig::bare(SiteId(0), "a", 1);
+        pool_a.retry = RetryPolicies::default().with_topic(
+            "noop",
+            crate::reliability::RetryPolicy {
+                timeout: Some(Duration::from_secs(30)),
+                ..Default::default()
+            },
+        );
+        let mut pool_b = WorkerPoolConfig::bare(SiteId(1), "b", 1);
+        pool_b.retry = pool_a.retry.clone();
+        let dead = crate::reliability::Connectivity::always_on();
+        dead.set_online(false);
+        let tracer = Tracer::enabled();
+        let exec = FnXExecutor::with_reliability(
+            &sim,
+            fixed_params(),
+            vec![
+                EndpointSpec { pool: pool_a, topics: vec!["noop"], connectivity: dead },
+                EndpointSpec::reliable(pool_b, vec!["noop"]),
+            ],
+            res_tx,
+            SimRng::from_seed(5),
+            tracer.clone(),
+            ReliabilityPolicies {
+                default: crate::health::ReliabilityPolicy {
+                    max_reroutes: 1,
+                    ..Default::default()
+                },
+                per_topic: BTreeMap::new(),
+            },
+        );
+        let e = exec.clone();
+        sim.spawn(async move {
+            e.submit(TaskSpec::noop(4, 1_000)).await;
+        });
+        sim.run();
+        let results = res_rx.drain_now();
+        assert_eq!(results.len(), 1, "exactly one terminal outcome");
+        let r = &results[0];
+        assert!(!r.is_failed(), "the reroute rescued the task");
+        assert_eq!(r.site, SiteId(1));
+        assert_eq!(r.report.reroutes, 1);
+        assert_eq!(tracer.events_of_kind(kinds::TASK_REROUTED).len(), 1);
+        assert!(tracer.events_of_kind(kinds::TASK_TIMEOUT).is_empty());
+        assert_eq!(exec.timed_out(), 0);
+        assert_eq!(exec.health().rerouted(), 1);
+    }
+
+    #[test]
+    fn breaker_steers_dispatch_after_offline_grace() {
+        // Endpoint 0 dies at t=1; the heartbeat watcher trips its
+        // breaker after the 5 s grace, so tasks submitted later steer
+        // straight to endpoint 1 — no per-task timeout needed.
+        let sim = Sim::new();
+        let (res_tx, res_rx) = channel();
+        let conn_a = crate::reliability::Connectivity::always_on();
+        let tracer = Tracer::enabled();
+        let exec = FnXExecutor::with_reliability(
+            &sim,
+            fixed_params(),
+            vec![
+                EndpointSpec {
+                    pool: WorkerPoolConfig::bare(SiteId(0), "a", 1),
+                    topics: vec!["noop"],
+                    connectivity: conn_a.clone(),
+                },
+                EndpointSpec::reliable(WorkerPoolConfig::bare(SiteId(1), "b", 1), vec!["noop"]),
+            ],
+            res_tx,
+            SimRng::from_seed(5),
+            tracer.clone(),
+            ReliabilityPolicies {
+                default: crate::health::ReliabilityPolicy {
+                    breaker: crate::health::BreakerConfig {
+                        failure_threshold: 1,
+                        offline_grace: Duration::from_secs(5),
+                        open_for: Duration::from_secs(600),
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                per_topic: BTreeMap::new(),
+            },
+        );
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(Duration::from_secs(1)).await;
+            conn_a.set_online(false);
+        });
+        let e = exec.clone();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(Duration::from_secs(20)).await; // after the trip at t=6
+            for i in 0..3 {
+                e.submit(TaskSpec::noop(i, 1_000)).await;
+            }
+        });
+        sim.run();
+        let results = res_rx.drain_now();
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|r| r.site == SiteId(1)), "all failed over to endpoint 1");
+        let opened = tracer.events_of_kind(kinds::BREAKER_OPENED);
+        assert_eq!(opened.len(), 1);
+        assert_eq!(opened[0].entity, 0, "endpoint 0's breaker opened");
+        assert!(exec.health().breaker_open(0));
+    }
+
+    #[test]
+    fn hedged_dispatch_rescues_straggler_exactly_once() {
+        // Warm the round-trip estimate with fast tasks, then make
+        // endpoint 0's pool a straggler: the hedge watchdog re-issues
+        // the slow task on endpoint 1, whose copy wins; the straggling
+        // copy is cancelled when it finally surfaces.
+        let sim = Sim::new();
+        let (res_tx, res_rx) = channel();
+        let pool_a = WorkerPoolConfig::bare(SiteId(0), "a", 1);
+        let pool_b = WorkerPoolConfig::bare(SiteId(1), "b", 1);
+        let tracer = Tracer::enabled();
+        let exec = FnXExecutor::with_reliability(
+            &sim,
+            fixed_params(),
+            vec![
+                EndpointSpec::reliable(pool_a, vec!["unit"]),
+                EndpointSpec::reliable(pool_b, vec!["unit"]),
+            ],
+            res_tx,
+            SimRng::from_seed(5),
+            tracer.clone(),
+            ReliabilityPolicies {
+                default: crate::health::ReliabilityPolicy {
+                    hedge: crate::health::HedgeConfig {
+                        quantile: 0.5,
+                        factor: 2.0,
+                        min_samples: 3,
+                        max_hedges: 1,
+                    },
+                    ..Default::default()
+                },
+                per_topic: BTreeMap::new(),
+            },
+        );
+        let e = exec.clone();
+        let targets = exec.chaos_targets();
+        sim.spawn(async move {
+            let mk = |id| {
+                TaskSpec::new(
+                    id,
+                    "unit",
+                    vec![],
+                    Rc::new(|_| crate::task::TaskWork::new((), 0, Duration::from_secs(10))),
+                )
+            };
+            // Warm-up: three clean round trips on the primary.
+            for id in 0..3 {
+                e.submit(mk(id)).await;
+            }
+            e.inner.sim.sleep(Duration::from_secs(60)).await;
+            // Straggle the primary 50×, then submit the hedged task.
+            targets.pace[0].set(50.0);
+            e.submit(mk(3)).await;
+        });
+        sim.run();
+        let results = res_rx.drain_now();
+        assert_eq!(results.len(), 4, "exactly one result per submitted id");
+        let slow = results.iter().find(|r| r.id == 3).expect("hedged task resolves");
+        assert!(!slow.is_failed());
+        assert_eq!(slow.site, SiteId(1), "the hedge copy on endpoint 1 won");
+        assert_eq!(slow.report.hedges, 1);
+        assert_eq!(tracer.events_of_kind(kinds::TASK_HEDGED).len(), 1);
+        assert_eq!(tracer.events_of_kind(kinds::TASK_CANCELLED).len(), 1);
+        assert_eq!(exec.health().hedged(), 1);
+        assert_eq!(exec.health().cancelled(), 1);
+        assert!(exec.health().wasted_secs() > 0.0, "the loser's burn is accounted");
     }
 
     #[test]

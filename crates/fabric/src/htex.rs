@@ -15,7 +15,9 @@
 //! payloads remain feasible, merely slow (Fig. 6).
 
 use crate::fabric::Fabric;
-use crate::reliability::RetryPolicies;
+use crate::health::{ReliabilityLayer, ReliabilityPolicies, TimeoutVerdict, Verdict};
+use crate::reliability::chaos::ChaosTargets;
+use crate::reliability::{Knob, RetryPolicies};
 use crate::task::{Arg, TaskError, TaskOutcome, TaskResult, TaskSpec, WorkerReport};
 use crate::worker::{WorkerPool, WorkerPoolConfig};
 use hetflow_sim::{channel, trace_kinds as kinds, Dist, Sender, Sim, SimRng, Tracer};
@@ -79,10 +81,12 @@ struct Inner {
     sim: Sim,
     params: HtexParams,
     rng: RefCell<SimRng>,
-    route: BTreeMap<String, usize>,
+    health: ReliabilityLayer,
     pools: Vec<WorkerPool>,
     links: Vec<LinkParams>,
     retries: Vec<RetryPolicies>,
+    /// Per-endpoint link-degradation dials (chaos-engine targets).
+    brownout: Vec<Knob>,
     results: Sender<TaskResult>,
     tracer: Tracer,
     submitted: Cell<u64>,
@@ -98,7 +102,8 @@ pub struct HtexExecutor {
 }
 
 impl HtexExecutor {
-    /// Builds the executor, spawning one pool per endpoint.
+    /// Builds the executor, spawning one pool per endpoint. Reliability
+    /// mechanisms are disabled — see [`HtexExecutor::with_reliability`].
     pub fn new(
         sim: &Sim,
         params: HtexParams,
@@ -107,15 +112,40 @@ impl HtexExecutor {
         rng: SimRng,
         tracer: Tracer,
     ) -> HtexExecutor {
-        let mut route = BTreeMap::new();
+        Self::with_reliability(
+            sim,
+            params,
+            endpoints,
+            results,
+            rng,
+            tracer,
+            ReliabilityPolicies::default(),
+        )
+    }
+
+    /// Builds the executor with an active [`ReliabilityLayer`],
+    /// mirroring [`crate::faas::FnXExecutor::with_reliability`]: a topic
+    /// registered on several endpoints fails over (first registration is
+    /// primary), breakers steer dispatches away from unhealthy managers,
+    /// and hedged/rerouted copies deliver exactly once.
+    pub fn with_reliability(
+        sim: &Sim,
+        params: HtexParams,
+        endpoints: Vec<HtexEndpoint>,
+        results: Sender<TaskResult>,
+        rng: SimRng,
+        tracer: Tracer,
+        policies: ReliabilityPolicies,
+    ) -> HtexExecutor {
+        let mut route: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         let mut pools = Vec::new();
         let mut links = Vec::new();
         let mut retries = Vec::new();
+        let mut brownout = Vec::new();
         let mut pool_streams = Vec::new();
         for (i, ep) in endpoints.into_iter().enumerate() {
             for topic in &ep.topics {
-                let prev = route.insert((*topic).to_owned(), i);
-                assert!(prev.is_none(), "topic {topic} routed to two endpoints");
+                route.entry((*topic).to_owned()).or_default().push(i);
             }
             let (pool_res_tx, pool_res_rx) = channel::<TaskResult>();
             retries.push(ep.pool.retry.clone());
@@ -128,16 +158,22 @@ impl HtexExecutor {
             );
             pools.push(pool);
             links.push(ep.link);
+            brownout.push(Knob::new(1.0));
             pool_streams.push(pool_res_rx);
         }
+        // HTEX managers have direct links (no Connectivity), so the
+        // layer spawns no heartbeat watchers; breakers are fed by task
+        // outcomes and timeouts only.
+        let health = ReliabilityLayer::new(sim, tracer.clone(), "htex", policies, route, &[]);
         let inner = Rc::new(Inner {
             sim: sim.clone(),
             params,
             rng: RefCell::new(rng.substream(u64::MAX)),
-            route,
+            health,
             pools,
             links,
             retries,
+            brownout,
             results,
             tracer,
             submitted: Cell::new(0),
@@ -164,6 +200,24 @@ impl HtexExecutor {
         &self.inner.pools
     }
 
+    /// The reliability layer (breaker state, hedge/reroute counters).
+    pub fn health(&self) -> ReliabilityLayer {
+        self.inner.health.clone()
+    }
+
+    /// The chaos-engine handles of this deployment. HTEX has no
+    /// endpoint connectivity and no cloud service, so only pool and
+    /// link dials are exposed.
+    pub fn chaos_targets(&self) -> ChaosTargets {
+        ChaosTargets {
+            connectivity: Vec::new(),
+            pace: self.inner.pools.iter().map(WorkerPool::pace_knob).collect(),
+            crash: self.inner.pools.iter().map(WorkerPool::crash_knob).collect(),
+            brownout: self.inner.brownout.clone(),
+            cloud: None,
+        }
+    }
+
     /// Tasks submitted so far.
     pub fn submitted(&self) -> u64 {
         self.inner.submitted.get()
@@ -187,7 +241,14 @@ impl HtexExecutor {
     fn link_cost(inner: &Inner, endpoint: usize, bytes: u64) -> std::time::Duration {
         let link = &inner.links[endpoint];
         let lat = link.latency.sample(&mut inner.rng.borrow_mut());
-        hetflow_sim::time::secs(lat + bytes as f64 / link.bandwidth)
+        let cost = hetflow_sim::time::secs(lat + bytes as f64 / link.bandwidth);
+        // Chaos brownout dial: degraded links move bytes slower.
+        let f = inner.brownout[endpoint].get();
+        if f != 1.0 {
+            cost.mul_f64(f.max(0.0))
+        } else {
+            cost
+        }
     }
 
     /// Races the link transfer against the topic's
@@ -205,24 +266,36 @@ impl HtexExecutor {
         let input_bytes = task.args.iter().map(Arg::data_bytes).sum();
         let attempt = Box::pin(Self::deliver_inner(Rc::clone(&inner), task, endpoint));
         if inner.sim.timeout(deadline, attempt).await.is_err() {
-            let now = inner.sim.now();
-            let actor = format!("htex/ep{endpoint}");
-            inner.tracer.emit(now, &actor, kinds::TASK_TIMEOUT, id, deadline.as_secs_f64());
-            timing.server_result_received = Some(now);
-            inner.timed_out.set(inner.timed_out.get() + 1);
-            inner.returned.set(inner.returned.get() + 1);
-            let result = TaskResult {
-                id,
-                topic,
-                output: Arg::inline((), 0),
-                input_bytes,
-                report: WorkerReport::default(),
-                timing,
-                site: inner.pools[endpoint].site(),
-                worker: actor,
-                outcome: TaskOutcome::Failed(TaskError::Timeout { after: deadline }),
-            };
-            let _ = inner.results.send_now(result);
+            match inner.health.on_timeout(endpoint, id, &topic) {
+                TimeoutVerdict::Reroute { spec, to } => {
+                    let inner2 = Rc::clone(&inner);
+                    // Boxed to break the deliver → deliver type cycle.
+                    let redo: Pin<Box<dyn Future<Output = ()>>> =
+                        Box::pin(Self::deliver(inner2, *spec, to));
+                    inner.sim.spawn(redo);
+                }
+                TimeoutVerdict::Suppress => {}
+                TimeoutVerdict::Fail => {
+                    let now = inner.sim.now();
+                    let actor = format!("htex/ep{endpoint}");
+                    inner.tracer.emit(now, &actor, kinds::TASK_TIMEOUT, id, deadline.as_secs_f64());
+                    timing.server_result_received = Some(now);
+                    inner.timed_out.set(inner.timed_out.get() + 1);
+                    inner.returned.set(inner.returned.get() + 1);
+                    let result = TaskResult {
+                        id,
+                        topic,
+                        output: Arg::inline((), 0),
+                        input_bytes,
+                        report: WorkerReport::default(),
+                        timing,
+                        site: inner.pools[endpoint].site(),
+                        worker: actor,
+                        outcome: TaskOutcome::Failed(TaskError::Timeout { after: deadline }),
+                    };
+                    let _ = inner.results.send_now(result);
+                }
+            }
         }
     }
 
@@ -241,9 +314,26 @@ impl HtexExecutor {
         let hop = inner.params.submit_hop.sample_secs(&mut inner.rng.borrow_mut());
         inner.sim.sleep(hop).await;
         inner.link_bytes.set(inner.link_bytes.get() + bytes);
-        result.timing.server_result_received = Some(inner.sim.now());
-        inner.returned.set(inner.returned.get() + 1);
-        let _ = inner.results.send_now(result);
+        // Exactly-once arbitration, after the full return path: the
+        // first surviving copy wins, losers are cancelled as waste.
+        let waste = result.report.compute_time.as_secs_f64()
+            + result.report.wasted_time.as_secs_f64();
+        match inner.health.on_result(
+            endpoint,
+            result.id,
+            &result.topic,
+            result.is_failed(),
+            waste,
+        ) {
+            Verdict::Deliver { hedges, reroutes } => {
+                result.report.hedges = hedges;
+                result.report.reroutes = reroutes;
+                result.timing.server_result_received = Some(inner.sim.now());
+                inner.returned.set(inner.returned.get() + 1);
+                let _ = inner.results.send_now(result);
+            }
+            Verdict::Suppress => {}
+        }
     }
 }
 
@@ -251,12 +341,14 @@ impl Fabric for HtexExecutor {
     fn submit(&self, mut task: TaskSpec) -> Pin<Box<dyn Future<Output = ()> + '_>> {
         Box::pin(async move {
             let inner = &self.inner;
-            let &endpoint = inner
-                .route
-                .get(&task.topic)
+            task.timing.dispatched = Some(inner.sim.now());
+            // Register the dispatch with the reliability layer, which
+            // picks the endpoint (breaker-aware when configured).
+            let endpoint = inner
+                .health
+                .admit(&task)
                 // hetlint: allow(r5) — unrouted topic is a deployment wiring bug, not a runtime fault
                 .unwrap_or_else(|| panic!("no endpoint registered for topic {}", task.topic));
-            task.timing.dispatched = Some(inner.sim.now());
             // The client pays the hop to the interchange plus the
             // interchange's serialization pass over the payload.
             let bytes = task.wire_bytes();
@@ -264,6 +356,56 @@ impl Fabric for HtexExecutor {
             let ser = bytes as f64 / inner.params.interchange_bw;
             inner.sim.sleep(hetflow_sim::time::secs(hop + ser)).await;
             inner.submitted.set(inner.submitted.get() + 1);
+            let id = task.id;
+            let topic = task.topic.clone();
+            let input_bytes = task.args.iter().map(Arg::data_bytes).sum();
+            let timing = task.timing;
+            // Hedge watchdog (see the FnX fabric for the rationale).
+            if let Some(delay) = inner.health.hedge_delay(&topic) {
+                let inner2 = Rc::clone(inner);
+                let topic2 = topic.clone();
+                inner.sim.spawn(async move {
+                    loop {
+                        inner2.sim.sleep(delay).await;
+                        let Some((spec, to)) = inner2.health.try_hedge(id, &topic2) else {
+                            break;
+                        };
+                        let inner3 = Rc::clone(&inner2);
+                        inner2.sim.spawn(async move {
+                            HtexExecutor::deliver(inner3, spec, to).await;
+                        });
+                    }
+                });
+            }
+            // Deadline watchdog: hard round-trip backstop.
+            if let Some(dl) = inner.health.deadline(&topic) {
+                let inner2 = Rc::clone(inner);
+                let topic2 = topic.clone();
+                inner.sim.spawn(async move {
+                    inner2.sim.sleep(dl).await;
+                    if inner2.health.expire(id) {
+                        let now = inner2.sim.now();
+                        let actor = format!("htex/ep{endpoint}");
+                        inner2.tracer.emit(now, &actor, kinds::TASK_TIMEOUT, id, dl.as_secs_f64());
+                        let mut timing = timing;
+                        timing.server_result_received = Some(now);
+                        inner2.timed_out.set(inner2.timed_out.get() + 1);
+                        inner2.returned.set(inner2.returned.get() + 1);
+                        let result = TaskResult {
+                            id,
+                            topic: topic2,
+                            output: Arg::inline((), 0),
+                            input_bytes,
+                            report: WorkerReport::default(),
+                            timing,
+                            site: inner2.pools[endpoint].site(),
+                            worker: actor,
+                            outcome: TaskOutcome::Failed(TaskError::Timeout { after: dl }),
+                        };
+                        let _ = inner2.results.send_now(result);
+                    }
+                });
+            }
             let inner2 = Rc::clone(inner);
             inner.sim.spawn(async move {
                 HtexExecutor::deliver(inner2, task, endpoint).await;

@@ -45,6 +45,7 @@
 
 pub mod fabric;
 pub mod faas;
+pub mod health;
 pub mod htex;
 pub mod provision;
 pub mod reliability;
@@ -54,9 +55,13 @@ pub mod worker;
 
 pub use fabric::Fabric;
 pub use faas::{EndpointSpec, FnXExecutor, FnXParams};
+pub use health::{
+    BreakerConfig, HedgeConfig, ReliabilityLayer, ReliabilityPolicies, ReliabilityPolicy,
+};
 pub use htex::{HtexEndpoint, HtexExecutor, HtexParams, LinkParams};
 pub use provision::{ProvisionReport, ProvisionSpec, Provisioner};
-pub use reliability::{Connectivity, FailureModel, RetryPolicies, RetryPolicy};
+pub use reliability::chaos::{ChaosAction, ChaosSpec, ChaosTargets};
+pub use reliability::{Connectivity, FailureModel, Knob, RetryPolicies, RetryPolicy};
 pub use ser::SerModel;
 pub use task::{
     Arg, TaskCtx, TaskError, TaskFn, TaskId, TaskOutcome, TaskResult, TaskSpec, TaskTiming,

@@ -15,6 +15,42 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::time::Duration;
 
+pub mod chaos;
+
+/// A shared, mutable scalar dial: the hook through which the chaos
+/// engine (and interactive scenarios) degrade a running component —
+/// worker pace factors, link brownout multipliers, cloud-service
+/// slowdowns. Cloning shares the underlying cell, so the component
+/// holding one end and the chaos actor holding the other observe the
+/// same value. Components read knobs lazily and skip the multiply when
+/// the value is exactly neutral, so an untouched knob changes neither
+/// timing nor RNG streams.
+#[derive(Clone)]
+pub struct Knob(Rc<Cell<f64>>);
+
+impl Knob {
+    /// A knob at `value`.
+    pub fn new(value: f64) -> Self {
+        Knob(Rc::new(Cell::new(value)))
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, value: f64) {
+        self.0.set(value);
+    }
+}
+
+impl std::fmt::Debug for Knob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Knob({})", self.0.get())
+    }
+}
+
 struct ConnState {
     online: Cell<bool>,
     changed: Event,
@@ -25,6 +61,12 @@ struct ConnState {
 #[derive(Clone)]
 pub struct Connectivity {
     state: Rc<ConnState>,
+}
+
+impl std::fmt::Debug for Connectivity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connectivity").field("online", &self.is_online()).finish()
+    }
 }
 
 impl Connectivity {
@@ -67,6 +109,30 @@ impl Connectivity {
         conn
     }
 
+    /// A connection whose up/down periods are drawn from distributions:
+    /// starting online, it stays up for a draw of `up`, goes down for a
+    /// draw of `down`, and repeats until the schedule passes `until`.
+    /// The whole outage schedule is precomputed from `rng` up front, so
+    /// the resulting connection is exactly as deterministic and
+    /// digest-stable as a hand-written [`Connectivity::scheduled`] one.
+    pub fn random(sim: &Sim, rng: &mut SimRng, up: &Dist, down: &Dist, until: SimTime) -> Self {
+        let mut outages = Vec::new();
+        let mut t = SimTime::ZERO;
+        while t < until {
+            // Clamp each period to a strictly positive length so the
+            // schedule always advances and windows stay disjoint.
+            let up_for = up.sample(rng).max(1e-9);
+            let down_for = down.sample(rng).max(1e-9);
+            let start = t + hetflow_sim::time::secs(up_for);
+            if start >= until {
+                break;
+            }
+            outages.push((start, hetflow_sim::time::secs(down_for)));
+            t = start + hetflow_sim::time::secs(down_for);
+        }
+        Connectivity::scheduled(sim, outages)
+    }
+
     /// Current state.
     pub fn is_online(&self) -> bool {
         self.state.online.get()
@@ -82,6 +148,14 @@ impl Connectivity {
         while !self.state.online.get() {
             self.state.changed.wait_next().await;
         }
+    }
+
+    /// Resolves at the *next* state transition (offline→online or
+    /// online→offline). Used by heartbeat watchers, which must be
+    /// event-driven: a watcher parked here pends on the event and never
+    /// blocks simulation quiescence.
+    pub async fn wait_change(&self) {
+        self.state.changed.wait_next().await;
     }
 
     /// Manually set the state (for tests and interactive scenarios).
@@ -307,6 +381,76 @@ mod tests {
         let wasted = m.wasted(Duration::from_secs(100), &mut rng);
         assert!(wasted >= Duration::from_secs(1));
         assert!(wasted <= Duration::from_secs(51));
+    }
+
+    #[test]
+    fn knob_shares_state_across_clones() {
+        let k = Knob::new(1.0);
+        let k2 = k.clone();
+        k2.set(2.5);
+        assert_eq!(k.get(), 2.5);
+        assert_eq!(format!("{k:?}"), "Knob(2.5)");
+    }
+
+    #[test]
+    fn random_connectivity_is_deterministic_and_finite() {
+        let schedule = |seed: u64| {
+            let sim = Sim::new();
+            let mut rng = SimRng::from_seed(seed);
+            let conn = Connectivity::random(
+                &sim,
+                &mut rng,
+                &Dist::Uniform { lo: 5.0, hi: 20.0 },
+                &Dist::Uniform { lo: 1.0, hi: 10.0 },
+                SimTime::from_secs(500),
+            );
+            let r = sim.run();
+            assert_eq!(r.pending_tasks, 0, "schedule actor must terminate");
+            (conn.outages_seen(), sim.now())
+        };
+        let (outages, end) = schedule(7);
+        assert!(outages > 5, "500s of 5-30s cycles must produce outages, got {outages}");
+        assert_eq!((outages, end), schedule(7), "same seed, same schedule");
+        assert_ne!(schedule(7).1, schedule(8).1, "different seeds should diverge");
+    }
+
+    #[test]
+    fn random_connectivity_ends_online_before_horizon_plus_down() {
+        let sim = Sim::new();
+        let mut rng = SimRng::from_seed(3);
+        let conn = Connectivity::random(
+            &sim,
+            &mut rng,
+            &Dist::Constant(10.0),
+            &Dist::Constant(5.0),
+            SimTime::from_secs(100),
+        );
+        sim.run();
+        assert!(conn.is_online(), "schedule always returns online after the last outage");
+        // up 10 / down 5 cycles until a start >= 100: starts at 10, 25,
+        // 40, 55, 70, 85 — six outages.
+        assert_eq!(conn.outages_seen(), 6);
+    }
+
+    #[test]
+    fn wait_change_observes_both_transitions() {
+        let sim = Sim::new();
+        let conn = Connectivity::scheduled(
+            &sim,
+            vec![(SimTime::from_secs(5), Duration::from_secs(5))],
+        );
+        let c = conn.clone();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            c.wait_change().await;
+            let first = (s.now(), c.is_online());
+            c.wait_change().await;
+            let second = (s.now(), c.is_online());
+            (first, second)
+        });
+        let (first, second) = sim.block_on(h);
+        assert_eq!(first, (SimTime::from_secs(5), false));
+        assert_eq!(second, (SimTime::from_secs(10), true));
     }
 
     #[test]

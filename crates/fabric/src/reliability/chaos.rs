@@ -1,0 +1,355 @@
+//! Deterministic chaos-injection engine.
+//!
+//! A [`ChaosSpec`] is a declarative fault script — endpoint flaps, a
+//! permanent site kill, link brownouts, straggler slowdowns, worker
+//! crash storms, cloud-service degradation — that [`ChaosSpec::install`]
+//! compiles into scheduled actors against a deployment's
+//! [`ChaosTargets`]: the [`Connectivity`] handles and degradation
+//! [`Knob`]s the fabrics already consult. Every random choice is drawn
+//! from a named [`SimRng`] stream with one substream per action, so a
+//! chaos run is replayable (same seed → byte-identical trace digest)
+//! and editing one action never perturbs the draws of another.
+//!
+//! All actors are finite: each performs its scripted transitions and
+//! returns, so an installed chaos script never blocks simulation
+//! quiescence. Actions naming an out-of-range endpoint or pool are
+//! skipped — a chaos script is test scaffolding and must degrade, not
+//! panic.
+
+use super::{Connectivity, Knob};
+use hetflow_sim::{Dist, Sim, SimRng, SimTime};
+use std::time::Duration;
+
+/// The handles a chaos script acts on, harvested from a deployment:
+/// one [`Connectivity`] per endpoint, pace/crash [`Knob`]s per worker
+/// pool, a brownout [`Knob`] per endpoint link, and optionally the
+/// cloud-service degradation knob.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosTargets {
+    /// Per-endpoint connection handles (flaps, kills).
+    pub connectivity: Vec<Connectivity>,
+    /// Per-pool compute-pace multipliers (1.0 = nominal).
+    pub pace: Vec<Knob>,
+    /// Per-pool mid-task crash probabilities (0.0 = never).
+    pub crash: Vec<Knob>,
+    /// Per-endpoint link latency/bandwidth multipliers (1.0 = nominal).
+    pub brownout: Vec<Knob>,
+    /// Cloud-service round-trip multiplier, when the fabric has one.
+    pub cloud: Option<Knob>,
+}
+
+/// One scripted fault.
+#[derive(Clone, Debug)]
+pub enum ChaosAction {
+    /// The endpoint's connection flaps: starting at `start`, it cycles
+    /// offline-for-a-`down`-draw / online-for-an-`up`-draw, `cycles`
+    /// times.
+    Flap {
+        /// Endpoint index into [`ChaosTargets::connectivity`].
+        endpoint: usize,
+        /// When the first drop happens.
+        start: SimTime,
+        /// Online period between drops.
+        up: Dist,
+        /// Offline period per drop.
+        down: Dist,
+        /// Number of offline windows.
+        cycles: u32,
+    },
+    /// The endpoint goes dark at `at` and never reconnects — the
+    /// site-loss scenario.
+    Kill {
+        /// Endpoint index into [`ChaosTargets::connectivity`].
+        endpoint: usize,
+        /// When the site is lost.
+        at: SimTime,
+    },
+    /// The endpoint's link degrades: transfer costs multiply by
+    /// `factor` for `duration`, then recover.
+    Brownout {
+        /// Endpoint index into [`ChaosTargets::brownout`].
+        endpoint: usize,
+        /// When the brownout begins.
+        at: SimTime,
+        /// How long it lasts.
+        duration: Duration,
+        /// Latency/bandwidth multiplier while degraded (> 1 is slower).
+        factor: f64,
+    },
+    /// The pool's workers slow down: compute times multiply by `factor`
+    /// for `duration`, then recover — the straggler scenario.
+    Straggle {
+        /// Pool index into [`ChaosTargets::pace`].
+        pool: usize,
+        /// When the slowdown begins.
+        at: SimTime,
+        /// How long it lasts.
+        duration: Duration,
+        /// Compute-time multiplier while degraded (> 1 is slower).
+        factor: f64,
+    },
+    /// The pool's workers crash mid-task with probability `prob` per
+    /// task for `duration`, then recover.
+    CrashStorm {
+        /// Pool index into [`ChaosTargets::crash`].
+        pool: usize,
+        /// When the storm begins.
+        at: SimTime,
+        /// How long it lasts.
+        duration: Duration,
+        /// Per-task mid-run crash probability while the storm lasts.
+        prob: f64,
+    },
+    /// The cloud service itself degrades: every cloud round trip
+    /// multiplies by `factor` for `duration`, then recovers.
+    Degrade {
+        /// When the degradation begins.
+        at: SimTime,
+        /// How long it lasts.
+        duration: Duration,
+        /// Cloud round-trip multiplier while degraded (> 1 is slower).
+        factor: f64,
+    },
+}
+
+/// A declarative, replayable chaos script: a named RNG stream plus the
+/// list of scripted faults.
+#[derive(Clone, Debug)]
+pub struct ChaosSpec {
+    /// Name of the `SimRng` stream driving every random draw in this
+    /// script — independent of the deployment's own streams, so
+    /// installing chaos never shifts workload randomness.
+    pub stream: String,
+    /// The scripted faults, installed in order.
+    pub actions: Vec<ChaosAction>,
+}
+
+impl ChaosSpec {
+    /// A script with the conventional stream name.
+    pub fn new(actions: Vec<ChaosAction>) -> Self {
+        ChaosSpec { stream: "chaos".to_owned(), actions }
+    }
+
+    /// Compiles the script: spawns one finite actor per action on
+    /// `sim`, acting on `targets`. Randomness comes from
+    /// `SimRng::stream(seed, &self.stream)` with one substream per
+    /// action index, so same `(seed, spec)` pairs replay exactly and
+    /// per-action edits are isolated. Actions referencing an
+    /// out-of-range endpoint or pool are skipped.
+    pub fn install(&self, sim: &Sim, seed: u64, targets: &ChaosTargets) {
+        let rng = SimRng::stream(seed, &self.stream);
+        for (i, action) in self.actions.iter().enumerate() {
+            let action_rng = rng.substream(i as u64);
+            install_action(sim, action.clone(), action_rng, targets);
+        }
+    }
+}
+
+fn install_action(sim: &Sim, action: ChaosAction, mut rng: SimRng, targets: &ChaosTargets) {
+    match action {
+        ChaosAction::Flap { endpoint, start, up, down, cycles } => {
+            let Some(conn) = targets.connectivity.get(endpoint).cloned() else { return };
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep_until(start).await;
+                for _ in 0..cycles {
+                    let down_for = down.sample_secs(&mut rng);
+                    let up_for = up.sample_secs(&mut rng);
+                    conn.set_online(false);
+                    s.sleep(down_for).await;
+                    conn.set_online(true);
+                    s.sleep(up_for).await;
+                }
+            });
+        }
+        ChaosAction::Kill { endpoint, at } => {
+            let Some(conn) = targets.connectivity.get(endpoint).cloned() else { return };
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep_until(at).await;
+                conn.set_online(false);
+            });
+        }
+        ChaosAction::Brownout { endpoint, at, duration, factor } => {
+            let Some(knob) = targets.brownout.get(endpoint).cloned() else { return };
+            dial(sim, knob, at, duration, factor, 1.0);
+        }
+        ChaosAction::Straggle { pool, at, duration, factor } => {
+            let Some(knob) = targets.pace.get(pool).cloned() else { return };
+            dial(sim, knob, at, duration, factor, 1.0);
+        }
+        ChaosAction::CrashStorm { pool, at, duration, prob } => {
+            let Some(knob) = targets.crash.get(pool).cloned() else { return };
+            dial(sim, knob, at, duration, prob, 0.0);
+        }
+        ChaosAction::Degrade { at, duration, factor } => {
+            let Some(knob) = targets.cloud.clone() else { return };
+            dial(sim, knob, at, duration, factor, 1.0);
+        }
+    }
+}
+
+/// Turns a knob to `value` at `at`, back to `neutral` after `duration`.
+fn dial(sim: &Sim, knob: Knob, at: SimTime, duration: Duration, value: f64, neutral: f64) {
+    let s = sim.clone();
+    sim.spawn(async move {
+        s.sleep_until(at).await;
+        knob.set(value);
+        s.sleep(duration).await;
+        knob.set(neutral);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(t: u64) -> SimTime {
+        SimTime::from_secs(t)
+    }
+
+    #[test]
+    fn kill_takes_endpoint_down_permanently() {
+        let sim = Sim::new();
+        let targets = ChaosTargets {
+            connectivity: vec![Connectivity::always_on(), Connectivity::always_on()],
+            ..Default::default()
+        };
+        let spec = ChaosSpec::new(vec![ChaosAction::Kill { endpoint: 1, at: secs(50) }]);
+        spec.install(&sim, 42, &targets);
+        let report = sim.run();
+        assert_eq!(report.pending_tasks, 0, "chaos actors must terminate");
+        assert!(targets.connectivity[0].is_online(), "endpoint 0 untouched");
+        assert!(!targets.connectivity[1].is_online(), "endpoint 1 stays dark");
+        assert_eq!(sim.now(), secs(50));
+    }
+
+    #[test]
+    fn flap_cycles_and_ends_online() {
+        let sim = Sim::new();
+        let targets = ChaosTargets {
+            connectivity: vec![Connectivity::always_on()],
+            ..Default::default()
+        };
+        let spec = ChaosSpec::new(vec![ChaosAction::Flap {
+            endpoint: 0,
+            start: secs(10),
+            up: Dist::Constant(20.0),
+            down: Dist::Constant(5.0),
+            cycles: 3,
+        }]);
+        spec.install(&sim, 1, &targets);
+        let report = sim.run();
+        assert_eq!(report.pending_tasks, 0);
+        assert_eq!(targets.connectivity[0].outages_seen(), 3);
+        assert!(targets.connectivity[0].is_online(), "flap ends online");
+        // 10 + 3 × (5 down + 20 up) = 85 s.
+        assert_eq!(sim.now(), secs(85));
+    }
+
+    #[test]
+    fn knob_actions_degrade_then_recover() {
+        let sim = Sim::new();
+        let targets = ChaosTargets {
+            pace: vec![Knob::new(1.0)],
+            crash: vec![Knob::new(0.0)],
+            brownout: vec![Knob::new(1.0)],
+            cloud: Some(Knob::new(1.0)),
+            ..Default::default()
+        };
+        let spec = ChaosSpec::new(vec![
+            ChaosAction::Straggle {
+                pool: 0,
+                at: secs(10),
+                duration: Duration::from_secs(20),
+                factor: 4.0,
+            },
+            ChaosAction::CrashStorm {
+                pool: 0,
+                at: secs(10),
+                duration: Duration::from_secs(20),
+                prob: 0.5,
+            },
+            ChaosAction::Brownout {
+                endpoint: 0,
+                at: secs(10),
+                duration: Duration::from_secs(20),
+                factor: 8.0,
+            },
+            ChaosAction::Degrade { at: secs(10), duration: Duration::from_secs(20), factor: 3.0 },
+        ]);
+        spec.install(&sim, 9, &targets);
+        let observed = {
+            let s = sim.clone();
+            let t = targets.clone();
+            sim.spawn(async move {
+                s.sleep_until(secs(15)).await;
+                (
+                    t.pace[0].get(),
+                    t.crash[0].get(),
+                    t.brownout[0].get(),
+                    t.cloud.as_ref().map(|k| k.get()),
+                )
+            })
+        };
+        let mid = sim.block_on(observed);
+        assert_eq!(mid, (4.0, 0.5, 8.0, Some(3.0)), "mid-window values");
+        sim.run();
+        assert_eq!(targets.pace[0].get(), 1.0, "pace recovers to neutral");
+        assert_eq!(targets.crash[0].get(), 0.0, "crash storm ends");
+        assert_eq!(targets.brownout[0].get(), 1.0, "brownout lifts");
+        assert_eq!(targets.cloud.as_ref().map(|k| k.get()), Some(1.0), "cloud recovers");
+    }
+
+    #[test]
+    fn out_of_range_targets_are_skipped() {
+        let sim = Sim::new();
+        let targets = ChaosTargets::default(); // nothing to act on
+        let spec = ChaosSpec::new(vec![
+            ChaosAction::Kill { endpoint: 3, at: secs(1) },
+            ChaosAction::Straggle {
+                pool: 9,
+                at: secs(1),
+                duration: Duration::from_secs(1),
+                factor: 2.0,
+            },
+            ChaosAction::Degrade { at: secs(1), duration: Duration::from_secs(1), factor: 2.0 },
+        ]);
+        spec.install(&sim, 0, &targets);
+        let report = sim.run();
+        assert_eq!(report.pending_tasks, 0);
+        assert_eq!(sim.now(), SimTime::ZERO, "no actors, no time passes");
+    }
+
+    #[test]
+    fn same_seed_same_schedule_and_substreams_isolate_actions() {
+        let run = |seed: u64, extra_action: bool| {
+            let sim = Sim::new();
+            let targets = ChaosTargets {
+                connectivity: vec![Connectivity::always_on(), Connectivity::always_on()],
+                ..Default::default()
+            };
+            let mut actions = vec![ChaosAction::Flap {
+                endpoint: 0,
+                start: secs(5),
+                up: Dist::Uniform { lo: 10.0, hi: 30.0 },
+                down: Dist::Uniform { lo: 1.0, hi: 9.0 },
+                cycles: 5,
+            }];
+            if extra_action {
+                actions.push(ChaosAction::Kill { endpoint: 1, at: secs(2) });
+            }
+            let spec = ChaosSpec::new(actions);
+            spec.install(&sim, seed, &targets);
+            sim.run();
+            sim.now()
+        };
+        assert_eq!(run(11, false), run(11, false), "same seed replays exactly");
+        assert_ne!(run(11, false), run(12, false), "seeds diverge");
+        assert_eq!(
+            run(11, false),
+            run(11, true),
+            "appending an action must not shift an earlier action's draws"
+        );
+    }
+}

@@ -165,6 +165,11 @@ pub struct WorkerReport {
     /// Time lost to failed attempts (partial compute + restart delays +
     /// retry backoff). Zero for clean executions.
     pub wasted_time: Duration,
+    /// Speculative (hedged) copies the fabric issued for this task.
+    pub hedges: u32,
+    /// Times the fabric re-dispatched this task after a delivery
+    /// timeout.
+    pub reroutes: u32,
 }
 
 /// Execution context handed to a task's compute closure.
@@ -300,6 +305,11 @@ impl TaskTiming {
 }
 
 /// A task ready for submission.
+///
+/// Cloning is cheap (the compute closure is an `Rc`) and exists for the
+/// reliability layer: a hedged or rerouted dispatch re-issues a clone of
+/// the original spec.
+#[derive(Clone)]
 pub struct TaskSpec {
     /// Unique id.
     pub id: TaskId,

@@ -10,7 +10,7 @@
 //! Per-worker idle gaps between consecutive tasks are recorded — this is
 //! the "CPU idle time between simulation tasks" metric of Fig. 6b.
 
-use crate::reliability::{FailureModel, RetryPolicies};
+use crate::reliability::{FailureModel, Knob, RetryPolicies};
 use crate::ser::SerModel;
 use crate::task::{Arg, TaskCtx, TaskError, TaskOutcome, TaskResult, TaskSpec, WorkerReport};
 use hetflow_store::{ProxyPolicy, SiteId};
@@ -45,6 +45,16 @@ pub struct WorkerPoolConfig {
     /// [`crate::provision::ProvisionSpec::worker_delays`]). Empty = all
     /// workers online at t=0. Indexed modulo its length.
     pub start_delays: Vec<std::time::Duration>,
+    /// Compute-pace multiplier, shared with the chaos engine: a task's
+    /// compute time is scaled by the knob's value at task start (1.0 =
+    /// nominal; > 1 models straggling workers). Read lazily, skipped
+    /// when neutral, so an untouched knob changes nothing.
+    pub pace: Knob,
+    /// Mid-task crash probability, shared with the chaos engine: while
+    /// nonzero, each task additionally crashes partway through compute
+    /// with this probability, wasting half the compute before the
+    /// (single) re-run. Draws no randomness while zero.
+    pub crash: Knob,
 }
 
 impl WorkerPoolConfig {
@@ -60,6 +70,8 @@ impl WorkerPoolConfig {
             failure: None,
             retry: RetryPolicies::default(),
             start_delays: Vec::new(),
+            pace: Knob::new(1.0),
+            crash: Knob::new(0.0),
         }
     }
 }
@@ -80,6 +92,8 @@ pub struct WorkerPool {
     label: String,
     site: SiteId,
     workers: usize,
+    pace: Knob,
+    crash: Knob,
 }
 
 impl WorkerPool {
@@ -115,6 +129,8 @@ impl WorkerPool {
         WorkerPool {
             tasks: tx,
             shared,
+            pace: config.pace.clone(),
+            crash: config.crash.clone(),
             label: config.label,
             site: config.site,
             workers: config.workers,
@@ -157,6 +173,16 @@ impl WorkerPool {
     /// Gauge of concurrently busy workers over time.
     pub fn busy_gauge(&self) -> Gauge {
         self.shared.busy.borrow().clone()
+    }
+
+    /// The pool's compute-pace dial (chaos-engine target).
+    pub fn pace_knob(&self) -> Knob {
+        self.pace.clone()
+    }
+
+    /// The pool's mid-task crash-probability dial (chaos-engine target).
+    pub fn crash_knob(&self) -> Knob {
+        self.crash.clone()
     }
 }
 
@@ -266,8 +292,24 @@ fn spawn_worker(
                     }
                 }
                 if failed.is_none() {
-                    report.compute_time = work.compute_time;
-                    sim.sleep(work.compute_time).await;
+                    let mut compute = work.compute_time;
+                    // Chaos pace knob: straggling workers run slow.
+                    let pace = config.pace.get();
+                    if pace != 1.0 {
+                        compute = compute.mul_f64(pace.max(0.0));
+                    }
+                    // Chaos crash knob: the worker dies mid-task, loses
+                    // half the compute, and re-runs once.
+                    let crash_p = config.crash.get();
+                    if crash_p > 0.0 && rng.chance(crash_p) {
+                        let lost = compute.mul_f64(0.5);
+                        report.wasted_time += lost;
+                        sim.sleep(lost).await;
+                        attempts += 1;
+                        tracer.emit(sim.now(), &name, kinds::TASK_RETRY, task.id, attempts as f64);
+                    }
+                    report.compute_time = compute;
+                    sim.sleep(compute).await;
                     task.timing.compute_finished = Some(sim.now());
 
                     // Result: proxy if the policy says so, else inline.
@@ -620,6 +662,66 @@ mod tests {
             Some(&TaskError::ExhaustedRetries { attempts: 2 }),
             "the topic's cap of 2, not the model's 10, must apply"
         );
+    }
+
+    #[test]
+    fn pace_knob_stretches_compute() {
+        let sim = Sim::new();
+        let (res_tx, res_rx) = channel();
+        let config = WorkerPoolConfig::bare(SITE, "w", 1);
+        let pool =
+            WorkerPool::spawn(&sim, config, res_tx, &SimRng::from_seed(1), Tracer::disabled());
+        pool.pace_knob().set(3.0);
+        pool.tasks
+            .send_now(TaskSpec::new(
+                0,
+                "t",
+                vec![],
+                Rc::new(|_| TaskWork::new((), 0, Duration::from_secs(10))),
+            ))
+            .unwrap();
+        let r = sim.run();
+        assert_eq!(r.end, SimTime::from_secs(30), "pace 3 triples a 10 s task");
+        let results = res_rx.drain_now();
+        assert_eq!(results[0].report.compute_time, Duration::from_secs(30));
+    }
+
+    #[test]
+    fn crash_knob_wastes_half_then_reruns() {
+        let sim = Sim::new();
+        let (res_tx, res_rx) = channel();
+        let config = WorkerPoolConfig::bare(SITE, "w", 1);
+        let tracer = Tracer::enabled();
+        let pool = WorkerPool::spawn(&sim, config, res_tx, &SimRng::from_seed(1), tracer.clone());
+        pool.crash_knob().set(1.0); // certain crash
+        pool.tasks
+            .send_now(TaskSpec::new(
+                0,
+                "t",
+                vec![],
+                Rc::new(|_| TaskWork::new((), 0, Duration::from_secs(10))),
+            ))
+            .unwrap();
+        let r = sim.run();
+        // Half the compute wasted by the crash, then a full re-run.
+        assert_eq!(r.end, SimTime::from_secs(15));
+        let results = res_rx.drain_now();
+        assert!(!results[0].is_failed(), "a crash storm delays, not fails");
+        assert_eq!(results[0].report.wasted_time, Duration::from_secs(5));
+        assert_eq!(results[0].report.attempts, 2);
+        assert_eq!(tracer.events_of_kind(kinds::TASK_RETRY).len(), 1);
+    }
+
+    #[test]
+    fn neutral_knobs_change_nothing() {
+        let (sim_a, _pa, ra) = run_pool(2, 4, 3.0);
+        sim_a.run();
+        let (sim_b, pb, rb) = run_pool(2, 4, 3.0);
+        pb.pace_knob().set(1.0); // explicitly neutral
+        pb.crash_knob().set(0.0);
+        sim_b.run();
+        assert_eq!(sim_a.now(), sim_b.now());
+        assert_eq!(ra.drain_now().len(), rb.drain_now().len());
     }
 
     #[test]

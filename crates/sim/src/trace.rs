@@ -32,6 +32,22 @@ pub mod kinds {
     pub const TASK_TIMEOUT: &str = "task_timeout";
     /// Thinker received a result envelope.
     pub const RESULT_RECEIVED: &str = "result_received";
+    /// An endpoint's circuit breaker tripped open: dispatches steer
+    /// away until the cool-down elapses. Value = trip generation.
+    pub const BREAKER_OPENED: &str = "breaker_opened";
+    /// A half-open probe succeeded and the breaker closed again.
+    /// Value = trip generation being retired.
+    pub const BREAKER_CLOSED: &str = "breaker_closed";
+    /// A straggling task was re-issued speculatively to another
+    /// endpoint; first result wins. Value = the hedge copy number.
+    pub const TASK_HEDGED: &str = "task_hedged";
+    /// A duplicate (hedged/rerouted) task copy lost the race and was
+    /// cancelled; its time is accounted as waste, never as a second
+    /// terminal outcome. Value = seconds the loser burned.
+    pub const TASK_CANCELLED: &str = "task_cancelled";
+    /// A task whose delivery timed out was re-dispatched to a
+    /// different endpoint instead of failing. Value = reroute count.
+    pub const TASK_REROUTED: &str = "task_rerouted";
 
     /// Every registered kind, in declaration order.
     ///
@@ -49,6 +65,11 @@ pub mod kinds {
         TASK_FAILED,
         TASK_TIMEOUT,
         RESULT_RECEIVED,
+        BREAKER_OPENED,
+        BREAKER_CLOSED,
+        TASK_HEDGED,
+        TASK_CANCELLED,
+        TASK_REROUTED,
     ];
 }
 

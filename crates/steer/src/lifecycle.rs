@@ -8,6 +8,7 @@
 use hetflow_fabric::{TaskOutcome, TaskTiming, WorkerReport};
 use hetflow_store::SiteId;
 use hetflow_sim::Samples;
+use std::collections::BTreeSet;
 use std::time::Duration;
 
 /// The complete life-cycle record of one finished task.
@@ -78,19 +79,41 @@ pub struct Breakdown {
     pub count: usize,
     /// Number of failed records among them.
     pub failed: usize,
+    /// Duplicate records dropped: later deliveries for a task id that
+    /// already has a record (cancelled hedge copies that slipped past
+    /// the fabric's arbitration, or replayed notifications). Their
+    /// worker time lands in `wasted`, nowhere else — a task id is never
+    /// double-counted as both failed and finished.
+    pub cancelled: usize,
+    /// Total hedge copies issued across the aggregated records.
+    pub hedged: u64,
+    /// Total failover reroutes across the aggregated records.
+    pub rerouted: u64,
 }
 
 impl Breakdown {
     /// Aggregates `records`, optionally filtered by topic.
     pub fn of<'a>(records: impl IntoIterator<Item = &'a TaskRecord>, topic: Option<&str>) -> Self {
         let mut b = Breakdown::default();
+        let mut seen = BTreeSet::new();
         for r in records {
             if let Some(t) = topic {
                 if r.topic != t {
                     continue;
                 }
             }
+            if !seen.insert(r.id) {
+                // Duplicate terminal record for an already-counted id:
+                // bin its worker time as waste and move on.
+                b.cancelled += 1;
+                b.wasted.record(
+                    (r.report.compute_time + r.report.wasted_time).as_secs_f64(),
+                );
+                continue;
+            }
             b.count += 1;
+            b.hedged += u64::from(r.report.hedges);
+            b.rerouted += u64::from(r.report.reroutes);
             let t = &r.timing;
             let push = |s: &mut Samples, v: Option<Duration>| {
                 if let Some(v) = v {
@@ -190,6 +213,8 @@ mod tests {
                 remote_inputs: 0,
                 attempts: 1,
                 wasted_time: Duration::ZERO,
+                hedges: 0,
+                reroutes: 0,
             },
             input_bytes: 2000,
             output_bytes: 1000,
@@ -239,5 +264,35 @@ mod tests {
         let b = Breakdown::of(&[], None);
         assert_eq!(b.count, 0);
         assert_eq!(b.median_row(), BreakdownRow::default());
+    }
+
+    #[test]
+    fn duplicate_ids_bin_as_wasted_not_double_counted() {
+        let winner = record("a", 0);
+        let mut loser = record("a", 0); // same id — a cancelled hedge copy
+        loser.outcome = TaskOutcome::Failed(hetflow_fabric::TaskError::Timeout {
+            after: Duration::from_secs(1),
+        });
+        let b = Breakdown::of(&[winner, loser], None);
+        assert_eq!(b.count, 1, "one terminal outcome per id");
+        assert_eq!(b.failed, 0, "the duplicate must not count as a failure");
+        assert_eq!(b.cancelled, 1);
+        // The duplicate's worker time (1s compute) lands in the wasted
+        // bin; the winner contributes its own zero-waste sample.
+        assert_eq!(b.wasted.len(), 2);
+        assert!((b.wasted.max() - 1.0).abs() < 1e-12);
+        assert_eq!(b.lifetime.len(), 1, "components aggregate the winner only");
+    }
+
+    #[test]
+    fn hedge_and_reroute_counters_sum_report_fields() {
+        let mut a = record("a", 0);
+        a.report.hedges = 1;
+        let mut c = record("a", 10);
+        c.report.reroutes = 2;
+        let b = Breakdown::of(&[a, c], None);
+        assert_eq!(b.hedged, 1);
+        assert_eq!(b.rerouted, 2);
+        assert_eq!(b.cancelled, 0);
     }
 }

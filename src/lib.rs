@@ -40,7 +40,8 @@ pub mod prelude {
     pub use hetflow_apps::moldesign::MolDesignParams;
     pub use hetflow_core::{deploy, Calibration, Deployment, DeploymentSpec, WorkflowConfig};
     pub use hetflow_fabric::{
-        RetryPolicies, RetryPolicy, TaskError, TaskFn, TaskOutcome, TaskWork,
+        BreakerConfig, ChaosAction, ChaosSpec, Connectivity, HedgeConfig, ReliabilityPolicies,
+        ReliabilityPolicy, RetryPolicies, RetryPolicy, TaskError, TaskFn, TaskOutcome, TaskWork,
     };
     pub use hetflow_steer::{Breakdown, ClientQueues, Payload, Thinker};
     pub use hetflow_sim::{Sim, SimRng, SimTime, Tracer};

@@ -193,6 +193,97 @@ fn trace_digest_reproducible_with_failure_injection() {
     assert_ne!(d1, clean, "failure injection should alter the trace");
 }
 
+/// A moldesign campaign under a scripted chaos-engine scenario: an
+/// endpoint flap, a worker straggler window, a crash storm, and a cloud
+/// degradation, with the breaker/failover/hedging layer active. The
+/// whole reliability stack must replay bit-identically.
+fn chaos_engine_digest(seed: u64) -> (u64, usize) {
+    use hetflow::fabric::{BreakerConfig, ChaosAction, ChaosSpec};
+    use hetflow::sim::Dist;
+
+    let sim = Sim::new();
+    let tracer = Tracer::enabled();
+    let spec = DeploymentSpec {
+        cpu_workers: 4,
+        gpu_workers: 2,
+        seed,
+        cpu_failover_sites: 1,
+        reliability: ReliabilityPolicies {
+            default: ReliabilityPolicy {
+                breaker: BreakerConfig {
+                    failure_threshold: 2,
+                    open_for: Duration::from_secs(120),
+                    close_after: 1,
+                    offline_grace: Duration::from_secs(20),
+                    latency_slo: Duration::ZERO,
+                },
+                max_reroutes: 1,
+                deadline: Duration::from_secs(900),
+                ..Default::default()
+            },
+            per_topic: Default::default(),
+        },
+        retry: RetryPolicies::default().with_topic(
+            "simulate",
+            RetryPolicy { timeout: Some(Duration::from_secs(90)), ..RetryPolicy::default() },
+        ),
+        ..Default::default()
+    };
+    let d = deploy(&sim, WorkflowConfig::FnXGlobus, &spec, tracer.clone());
+    ChaosSpec::new(vec![
+        ChaosAction::Flap {
+            endpoint: 0,
+            start: SimTime::from_secs(120),
+            up: Dist::Uniform { lo: 20.0, hi: 60.0 },
+            down: Dist::Uniform { lo: 30.0, hi: 90.0 },
+            cycles: 2,
+        },
+        ChaosAction::Straggle {
+            pool: 0,
+            at: SimTime::from_secs(500),
+            duration: Duration::from_secs(120),
+            factor: 4.0,
+        },
+        ChaosAction::CrashStorm {
+            pool: 1,
+            at: SimTime::from_secs(300),
+            duration: Duration::from_secs(200),
+            prob: 0.3,
+        },
+        ChaosAction::Degrade {
+            at: SimTime::from_secs(700),
+            duration: Duration::from_secs(100),
+            factor: 3.0,
+        },
+    ])
+    .install(&sim, seed, &d.chaos);
+    let _ = moldesign::run(
+        &sim,
+        &d,
+        MolDesignParams {
+            library_size: 400,
+            budget: Duration::from_secs(1200),
+            ensemble_size: 2,
+            retrain_after: 8,
+            seed,
+            ..Default::default()
+        },
+    );
+    (tracer.digest(), tracer.len())
+}
+
+#[test]
+fn trace_digest_reproducible_under_chaos_engine() {
+    let (d1, n1) = chaos_engine_digest(1234);
+    let (d2, n2) = chaos_engine_digest(1234);
+    assert!(n1 > 0, "traced campaign emitted no events");
+    assert_eq!(n1, n2, "event counts diverged between same-seed chaos runs");
+    assert_eq!(d1, d2, "chaos-engine trace digests diverged between same-seed runs");
+    // The scripted chaos must actually perturb the run.
+    let (clean, _) = traced_digest(WorkflowConfig::FnXGlobus, 1234);
+    assert_ne!(d1, clean, "the chaos script should alter the trace");
+}
+
 #[test]
 fn trace_digest_distinguishes_fabrics_and_seeds() {
     let (fnx, _) = traced_digest(WorkflowConfig::FnXGlobus, 1234);

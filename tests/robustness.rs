@@ -4,9 +4,9 @@
 //! reconnect" — plus worker-level failure injection.
 
 use hetflow::apps::moldesign;
-use hetflow::fabric::{Connectivity, FailureModel};
+use hetflow::fabric::{BreakerConfig, ChaosAction, ChaosSpec, Connectivity, FailureModel};
 use hetflow::prelude::*;
-use hetflow::sim::Dist;
+use hetflow::sim::{trace_kinds, Dist};
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -299,6 +299,92 @@ fn chaotic_campaign_completes_without_panic() {
         records.iter().all(|r| r.report.attempts >= 1 || r.timing.worker_started.is_none()),
         "every record either ran at least once or never reached a worker"
     );
+}
+
+#[test]
+fn site_loss_mid_campaign_fails_over_and_keeps_working() {
+    // The ISSUE 5 acceptance scenario: a molecular-design campaign loses
+    // its primary CPU site *permanently* mid-run (chaos `Kill`). The
+    // offline watcher trips the endpoint's circuit breaker, in-flight
+    // tasks stuck behind the dead connection reroute to the standby CPU
+    // endpoint, fresh dispatches steer around the open breaker, and the
+    // campaign finishes with degraded-but-nonzero throughput.
+    let sim = Sim::new();
+    let tracer = Tracer::enabled();
+    let kill_at = SimTime::from_secs(300);
+    let spec = DeploymentSpec {
+        cpu_workers: 4,
+        gpu_workers: 2,
+        cpu_failover_sites: 1,
+        reliability: ReliabilityPolicies {
+            default: ReliabilityPolicy {
+                breaker: BreakerConfig {
+                    failure_threshold: 2,
+                    // Longer than the campaign: the site never comes back.
+                    open_for: Duration::from_secs(3600),
+                    close_after: 1,
+                    offline_grace: Duration::from_secs(30),
+                    latency_slo: Duration::ZERO,
+                },
+                max_reroutes: 1,
+                // Backstop for results stranded on the dead return path.
+                deadline: Duration::from_secs(1200),
+                ..Default::default()
+            },
+            per_topic: Default::default(),
+        },
+        // Transit stuck behind the dead endpoint reroutes after 120 s.
+        retry: RetryPolicies::default().with_topic(
+            "simulate",
+            RetryPolicy { timeout: Some(Duration::from_secs(120)), ..RetryPolicy::default() },
+        ),
+        ..Default::default()
+    };
+    let d = deploy(&sim, WorkflowConfig::FnXGlobus, &spec, tracer.clone());
+    ChaosSpec::new(vec![ChaosAction::Kill { endpoint: 0, at: kill_at }])
+        .install(&sim, 99, &d.chaos);
+    let o = moldesign::run(
+        &sim,
+        &d,
+        MolDesignParams {
+            library_size: 400,
+            budget: Duration::from_secs(2400),
+            ensemble_size: 2,
+            retrain_after: 8,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    assert!(o.simulations > 0, "campaign must complete work despite the site loss");
+
+    let opened = tracer.events_of_kind(trace_kinds::BREAKER_OPENED);
+    assert!(
+        opened.iter().any(|e| e.entity == 0),
+        "losing the site must open endpoint 0's breaker"
+    );
+    assert!(
+        opened.iter().all(|e| e.t >= kill_at),
+        "the breaker only opens after the site is lost"
+    );
+    assert!(
+        !tracer.events_of_kind(trace_kinds::TASK_REROUTED).is_empty(),
+        "in-flight tasks stuck behind the dead site must reroute"
+    );
+
+    // Degraded-but-nonzero throughput: simulations keep finishing after
+    // the loss, now on the standby endpoint's pool.
+    let records = d.queues.records();
+    let post_kill_sims = records
+        .iter()
+        .filter(|r| r.topic == "simulate" && !r.is_failed())
+        .filter(|r| r.timing.compute_finished.is_some_and(|t| t > kill_at))
+        .count();
+    assert!(post_kill_sims > 0, "failover must keep simulate throughput nonzero");
+    assert!(
+        records.iter().any(|r| r.worker.starts_with("theta-f0")),
+        "the standby pool must actually execute work"
+    );
+    assert!(d.health.breaker_open(0), "the breaker stays open: the site never recovers");
 }
 
 #[test]
