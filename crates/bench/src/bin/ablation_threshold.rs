@@ -48,7 +48,13 @@ fn main() {
         all_medians.push((threshold, overall));
     }
     println!("\n--- shape check vs paper ---");
-    let at = |t: u64| all_medians.iter().find(|(x, _)| *x == t).unwrap().1;
+    let at = |t: u64| match all_medians.iter().find(|(x, _)| *x == t) {
+        Some((_, m)) => *m,
+        None => {
+            eprintln!("threshold {t} missing from the sweep results");
+            std::process::exit(2);
+        }
+    };
     println!(
         "overall overhead: always-proxy {:.0} ms, 10kB {:.0} ms, never-proxy {:.0} ms",
         at(0),

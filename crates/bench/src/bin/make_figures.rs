@@ -23,8 +23,17 @@ fn main() {
         "ablation_threshold",
         "ablation_steering",
     ];
-    let exe = std::env::current_exe().expect("current exe");
-    let dir = exe.parent().expect("bin dir");
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot locate the figure binaries: current_exe failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    let Some(dir) = exe.parent().map(std::path::Path::to_path_buf) else {
+        eprintln!("cannot locate the figure binaries: {} has no parent", exe.display());
+        std::process::exit(2);
+    };
     for bin in bins {
         println!("\n################ {bin} ################\n");
         let status = Command::new(dir.join(bin))

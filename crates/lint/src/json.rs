@@ -6,6 +6,7 @@
 //! JSON reader used by the round-trip tests and available to any gate
 //! that wants to consume the report without string matching.
 
+use crate::graph::CallGraph;
 use crate::{Report, Violation};
 
 /// Escapes a string for embedding in a JSON document (quotes included).
@@ -62,7 +63,7 @@ pub fn report_to_json(report: &Report) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"tool\": \"hetlint\",\n");
-    out.push_str("  \"schema_version\": 2,\n");
+    out.push_str("  \"schema_version\": 3,\n");
     out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
     out.push_str(&format!("  \"clean\": {},\n", report.clean()));
     out.push_str(&format!(
@@ -97,6 +98,14 @@ pub fn report_to_json(report: &Report) -> String {
             rows.join(",\n")
         ));
     }
+    match report.reachable_panics {
+        Some((count, budget)) => out.push_str(&format!(
+            "  \"reachable_panics\": {{ \"count\": {count}, \"budget\": {budget}, \
+             \"over\": {} }},\n",
+            count > budget
+        )),
+        None => out.push_str("  \"reachable_panics\": null,\n"),
+    }
     if report.notes.is_empty() {
         out.push_str("  \"notes\": []\n");
     } else {
@@ -106,6 +115,50 @@ pub fn report_to_json(report: &Report) -> String {
             .map(|n| format!("    {}", escape(n)))
             .collect();
         out.push_str(&format!("  \"notes\": [\n{}\n  ]\n", notes.join(",\n")));
+    }
+    out.push('}');
+    out
+}
+
+/// Serializes the workspace call graph for `hetlint --callgraph`.
+/// Nodes carry qualified names and defining locations; edges are
+/// `[from, to]` index pairs into the node array. The document
+/// round-trips through [`parse`].
+pub fn graph_to_json(graph: &CallGraph) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"tool\": \"hetlint-callgraph\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    if graph.nodes.is_empty() {
+        out.push_str("  \"nodes\": [],\n");
+    } else {
+        let rows: Vec<String> = graph
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(id, n)| {
+                format!(
+                    "    {{ \"id\": {id}, \"qname\": {}, \"crate\": {}, \"path\": {}, \
+                     \"line\": {} }}",
+                    escape(&n.qname),
+                    escape(&n.crate_name),
+                    escape(&n.path),
+                    n.line
+                )
+            })
+            .collect();
+        out.push_str(&format!("  \"nodes\": [\n{}\n  ],\n", rows.join(",\n")));
+    }
+    let mut pairs: Vec<String> = Vec::new();
+    for (from, row) in graph.edges.iter().enumerate() {
+        for &to in row {
+            pairs.push(format!("[{from}, {to}]"));
+        }
+    }
+    if pairs.is_empty() {
+        out.push_str("  \"edges\": []\n");
+    } else {
+        out.push_str(&format!("  \"edges\": [\n    {}\n  ]\n", pairs.join(",\n    ")));
     }
     out.push('}');
     out

@@ -43,8 +43,11 @@
 //! every suppression is counted in the report. R9 itself cannot be
 //! suppressed.
 
+pub mod graph;
+pub mod interproc;
 pub mod json;
 pub mod lexer;
+pub mod parser;
 pub mod ratchet;
 pub mod rules;
 pub mod scan;
@@ -79,6 +82,14 @@ pub enum RuleId {
     R8,
     /// Stale suppression.
     R9,
+    /// Ambient I/O reachable from a simulation entry point.
+    R10,
+    /// Lock guard held across a blocking call, or inverted lock order.
+    R11,
+    /// `SimRng` crossing a thread or channel boundary.
+    R12,
+    /// Panic site reachable from fabric dispatch, over the ratchet.
+    R13,
     /// Malformed suppression (missing reason).
     BadAllow,
 }
@@ -96,6 +107,10 @@ impl RuleId {
             RuleId::R7 => "r7",
             RuleId::R8 => "r8",
             RuleId::R9 => "r9",
+            RuleId::R10 => "r10",
+            RuleId::R11 => "r11",
+            RuleId::R12 => "r12",
+            RuleId::R13 => "r13",
             RuleId::BadAllow => "bad-allow",
         }
     }
@@ -112,9 +127,107 @@ impl RuleId {
             RuleId::R7 => "R7 seed-streams: stream-name literals must be workspace-unique",
             RuleId::R8 => "R8 trace-kinds: emitted kinds and the registry must agree",
             RuleId::R9 => "R9 stale-allow: suppressions must cover a live violation",
+            RuleId::R10 => "R10 sim-purity: no ambient I/O reachable from simulation entry points",
+            RuleId::R11 => "R11 lock-discipline: no guard across blocking calls; one lock order",
+            RuleId::R12 => "R12 rng-provenance: SimRng must not cross thread/channel boundaries",
+            RuleId::R13 => "R13 panic-reach: panics reachable from fabric dispatch are ratcheted",
             RuleId::BadAllow => "suppressions must carry a reason",
         }
     }
+}
+
+/// A long-form explanation of one rule, for `hetlint --explain <rule>`.
+/// Accepts canonical keys and the same aliases as `allow(..)`; `None`
+/// for unknown rules.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    let key = scan::normalize_rule(rule);
+    Some(match key.as_str() {
+        "r1" => {
+            "R1 virtual-time — sim-driven crates must not read the wall clock \
+             (std::time::Instant, SystemTime, thread::sleep). The simulation owns time; \
+             a wall-clock read makes runs machine-dependent and breaks bit-reproducibility. \
+             Aliased imports are tracked. Fix: take time from the Sim handle."
+        }
+        "r2" => {
+            "R2 seeded-rng — no ambient entropy (thread_rng, from_entropy, OsRng) outside \
+             crates/sim/src/rng.rs. All randomness derives from the campaign master seed \
+             through named streams (SimRng::stream) and substreams, so every draw is \
+             attributable and replayable."
+        }
+        "r3" => {
+            "R3 hash-order — no iteration over HashMap/HashSet in sim-driven crates. \
+             Iteration order varies across runs and platforms, leaking nondeterminism into \
+             anything order-sensitive (schedulers, traces). Keyed lookup is fine. Fix: \
+             BTreeMap, or collect-and-sort before iterating."
+        }
+        "r4" => {
+            "R4 threads — no OS-thread spawns outside the ml crate. The simulation is \
+             single-threaded over virtual time by design; ml's scoped, member-seeded \
+             ensemble fan-out is the one sanctioned escape because its result is \
+             bit-identical to the sequential path."
+        }
+        "r5" => {
+            "R5 unwrap-budget — unwrap()/expect()/panic!() sites in pre-test library code \
+             are counted per crate against the checked-in hetlint.ratchet. Budgets only go \
+             down. Runtime faults must take the typed task-failure path; only invariant \
+             violations may abort, each under a reasoned `hetlint: allow(r5) — <why>`."
+        }
+        "r6" => {
+            "R6 total-order — float comparisons feeding sorts or heaps must be total: \
+             f64::total_cmp or an Ord-delegating wrapper, never .partial_cmp().unwrap(). \
+             NaN-poisoned partial orders panic or, worse, silently reorder."
+        }
+        "r7" => {
+            "R7 seed-streams — SimRng stream-name literals must be workspace-unique. Two \
+             sites deriving streams from the same name get identical sequences: correlated \
+             randomness that biases campaign comparisons while every digest still matches."
+        }
+        "r8" => {
+            "R8 trace-kinds — every emitted trace-event kind must be declared in the \
+             central registry (crates/sim/src/trace.rs kinds::), and every registered kind \
+             must be emitted somewhere. Drift in either direction is silent digest drift."
+        }
+        "r9" => {
+            "R9 stale-allow — a reasoned allow(..) that no longer covers any hit must be \
+             removed. Left in place it would silently re-arm if the code regresses. Not \
+             itself suppressible: the fix is deleting a line."
+        }
+        "r10" => {
+            "R10 sim-purity — functions reachable (over the workspace call graph) from \
+             simulation entry points (async fns and task-spawning fns in sim-driven \
+             crates, fabric dispatch) must not reach ambient I/O: std::fs, std::env, \
+             std::net, std::io streams, or print macros. The Tracer is the one sanctioned \
+             side channel. Violations print the concrete witness call chain; suppress at \
+             the sink with allow(r10)."
+        }
+        "r11" => {
+            "R11 lock-discipline — a Mutex guard must not be held across a call that can \
+             block the OS thread (Condvar::wait, synchronous channel send/recv, \
+             thread::scope, joins), directly or transitively through a callee; and two \
+             locks must never be acquired in inverted orders in different functions. \
+             Channel operations that are immediately .awaited are virtual-time \
+             suspensions, not blocks."
+        }
+        "r12" => {
+            "R12 rng-provenance — a SimRng handle must not be stored in a thread-crossing \
+             container (Arc, Mutex, RwLock, channel endpoints) or passed through a channel \
+             send. Streams move by ownership along the derivation tree; smuggling one \
+             across a thread boundary destroys substream provenance. Send a seed or \
+             stream name and derive on the receiving side."
+        }
+        "r13" => {
+            "R13 panic-reach — every unwrap()/expect()/panic!() site transitively \
+             reachable from fabric dispatch (submit/deliver) is counted against the \
+             `reachable-panics` budget in hetlint.ratchet. A panic on the dispatch path \
+             kills the whole campaign, not one task. Sites under a reasoned allow(r5) are \
+             exempt; the same annotation serves both rules."
+        }
+        "bad-allow" => {
+            "bad-allow — every suppression needs a reason: \
+             `hetlint: allow(<rule>) — <why>`. A bare allow() is itself a violation."
+        }
+        _ => return None,
+    })
 }
 
 /// What part of a crate a file belongs to; drives which rules apply.
@@ -224,6 +337,9 @@ pub struct LintedFile {
     /// `(rule key, annotation line)` pairs for every suppression that
     /// covered a hit — R9 flags the reasoned ones left over.
     pub matched_allows: Vec<(String, usize)>,
+    /// Item-level parse: fn items with calls/sinks/locks/panics, plus
+    /// file-level R12 escapes (raw material for R10–R13).
+    pub items: parser::ParsedFile,
 }
 
 /// Runs the per-file pass over one source text.
@@ -280,6 +396,7 @@ pub fn lint_file(ctx: &FileContext, source: &str) -> LintedFile {
     let stream_uses = rules::stream_uses(ctx, &prepared);
     let emit_sites = rules::emit_sites(ctx, &prepared);
     let registry = rules::registry_entries(ctx, &prepared);
+    let items = parser::parse_items(ctx, &prepared);
     LintedFile {
         ctx: ctx.clone(),
         report,
@@ -288,6 +405,7 @@ pub fn lint_file(ctx: &FileContext, source: &str) -> LintedFile {
         emit_sites,
         registry,
         matched_allows,
+        items,
     }
 }
 
@@ -309,6 +427,10 @@ pub struct Report {
     pub bad_allows: Vec<Violation>,
     /// Per-crate `(crate, count, budget)` rows for R5.
     pub unwrap_rows: Vec<(String, usize, usize)>,
+    /// `(count, budget)` of un-allowed panic sites reachable from
+    /// fabric dispatch (R13); `None` when the interprocedural phase
+    /// did not run.
+    pub reachable_panics: Option<(usize, usize)>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
     /// Informational findings that do not fail the run (e.g. ratchet
@@ -322,6 +444,7 @@ impl Report {
         self.violations.is_empty()
             && self.bad_allows.is_empty()
             && self.unwrap_rows.iter().all(|(_, count, budget)| count <= budget)
+            && self.reachable_panics.is_none_or(|(count, budget)| count <= budget)
     }
 }
 
@@ -331,13 +454,24 @@ impl Report {
 /// fixture tests can exercise the workspace-wide rules on synthetic
 /// trees.
 pub fn lint_set(inputs: &[(FileContext, String)], budgets: &ratchet::Ratchet) -> Report {
+    lint_set_full(inputs, budgets).0
+}
+
+/// As [`lint_set`], also returning the workspace call graph (for
+/// `hetlint --callgraph` and the graph-artifact CI step).
+pub fn lint_set_full(
+    inputs: &[(FileContext, String)],
+    budgets: &ratchet::Ratchet,
+) -> (Report, graph::CallGraph) {
     let mut files: Vec<LintedFile> = inputs
         .iter()
         .map(|(ctx, source)| lint_file(ctx, source))
         .collect();
-    workspace::cross_check(&mut files);
+    let outcome = workspace::cross_check(&mut files, budgets);
 
     let mut report = Report { files_scanned: files.len(), ..Report::default() };
+    report.reachable_panics = Some(outcome.reachable_panics);
+    report.notes.extend(outcome.notes);
     let mut counts: Vec<(String, usize)> = Vec::new();
     for f in files {
         report.violations.extend(f.report.violations);
@@ -375,7 +509,7 @@ pub fn lint_set(inputs: &[(FileContext, String)], budgets: &ratchet::Ratchet) ->
         }
         report.unwrap_rows.push((name, count, budget));
     }
-    report
+    (report, outcome.graph)
 }
 
 /// Classifies a workspace-relative path into a [`FileContext`]; `None`
@@ -440,6 +574,11 @@ pub fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
 /// and lints every classified source file (per-file and workspace-wide
 /// phases).
 pub fn run(root: &Path) -> std::io::Result<Report> {
+    run_full(root).map(|(report, _)| report)
+}
+
+/// As [`run`], also returning the workspace call graph.
+pub fn run_full(root: &Path) -> std::io::Result<(Report, graph::CallGraph)> {
     let budgets = ratchet::load(root)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
     let mut inputs: Vec<(FileContext, String)> = Vec::new();
@@ -453,7 +592,7 @@ pub fn run(root: &Path) -> std::io::Result<Report> {
         let source = std::fs::read_to_string(&path)?;
         inputs.push((ctx, source));
     }
-    Ok(lint_set(&inputs, &budgets))
+    Ok(lint_set_full(&inputs, &budgets))
 }
 
 #[cfg(test)]

@@ -1,20 +1,27 @@
-//! hetlint CLI: `cargo run -p hetflow-lint [-- [--format text|json] <workspace-root>]`.
+//! hetlint CLI: `cargo run -p hetflow-lint [-- [options] <workspace-root>]`.
 //!
 //! Walks the workspace sources, verifies the `hetlint.ratchet` budget
 //! file, and reports violations of the determinism contract. See
 //! DESIGN.md "Determinism rules" for the rule catalogue and the
 //! `hetlint: allow(<rule>) — <reason>` suppression syntax.
 //!
+//! Options:
+//! - `--format text|json` — report format (default text)
+//! - `--callgraph` — emit the workspace call graph instead of the
+//!   report (JSON under `--format json`, a summary under text)
+//! - `--explain <rule>` — print the long-form description of one rule
+//!   (`R1`..`R13`, `bad-allow`, or any `allow(..)` alias) and exit
+//!
 //! Exit codes are stable for CI:
 //! - `0` — contract holds (no violations, budgets respected)
 //! - `1` — violations found (including budget overruns and bad allows)
 //! - `2` — the tool itself failed (bad usage, unreadable tree, missing
-//!   or malformed ratchet file)
+//!   or malformed ratchet file, unknown `--explain` rule)
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use hetflow_lint::{json, Report, RuleId};
+use hetflow_lint::{graph, json, Report, RuleId};
 
 enum Format {
     Text,
@@ -22,11 +29,15 @@ enum Format {
 }
 
 fn usage() {
-    eprintln!("usage: hetlint [--format text|json] [workspace-root]");
+    eprintln!(
+        "usage: hetlint [--format text|json] [--callgraph] [--explain <rule>] [workspace-root]"
+    );
 }
 
 fn main() -> ExitCode {
     let mut format = Format::Text;
+    let mut callgraph = false;
+    let mut explain: Option<String> = None;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -41,9 +52,20 @@ fn main() -> ExitCode {
             },
             "--format=json" => format = Format::Json,
             "--format=text" => format = Format::Text,
+            "--callgraph" => callgraph = true,
+            "--explain" => match args.next() {
+                Some(rule) => explain = Some(rule),
+                None => {
+                    usage();
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with("--explain=") => {
+                explain = Some(arg["--explain=".len()..].to_string());
             }
             _ if arg.starts_with('-') => {
                 usage();
@@ -58,14 +80,33 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(rule) = explain {
+        return match hetflow_lint::explain(&rule) {
+            Some(text) => {
+                println!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("hetlint: unknown rule `{rule}` (try R1..R13 or bad-allow)");
+                ExitCode::from(2)
+            }
+        };
+    }
     let root = root.unwrap_or_else(|| PathBuf::from("."));
-    let report = match hetflow_lint::run(&root) {
+    let (report, graph) = match hetflow_lint::run_full(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("hetlint: {e}");
             return ExitCode::from(2);
         }
     };
+    if callgraph {
+        match format {
+            Format::Json => println!("{}", json::graph_to_json(&graph)),
+            Format::Text => print_graph(&graph),
+        }
+        return ExitCode::SUCCESS;
+    }
     match format {
         Format::Json => println!("{}", json::report_to_json(&report)),
         Format::Text => print_report(&report),
@@ -74,6 +115,22 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+fn print_graph(graph: &graph::CallGraph) {
+    let n_edges: usize = graph.edges.iter().map(Vec::len).sum();
+    println!("hetlint call graph: {} nodes, {n_edges} edges", graph.nodes.len());
+    for (id, node) in graph.nodes.iter().enumerate() {
+        let out: Vec<&str> = graph.edges[id]
+            .iter()
+            .map(|&m| graph.nodes[m].qname.as_str())
+            .collect();
+        if out.is_empty() {
+            println!("  {}", node.qname);
+        } else {
+            println!("  {} -> {}", node.qname, out.join(", "));
+        }
     }
 }
 
@@ -87,6 +144,10 @@ fn print_report(report: &Report) {
         RuleId::R7,
         RuleId::R8,
         RuleId::R9,
+        RuleId::R10,
+        RuleId::R11,
+        RuleId::R12,
+        RuleId::R13,
         RuleId::BadAllow,
     ];
     for rule in rules {
@@ -117,6 +178,17 @@ fn print_report(report: &Report) {
             } else {
                 println!("  crate `{name}`: {count}/{budget}");
             }
+        }
+    }
+    if let Some((count, budget)) = report.reachable_panics {
+        println!("{}", RuleId::R13.title());
+        if count > budget {
+            println!(
+                "  {count}/{budget} OVER BUDGET; see the R13 violations above for the \
+                 witness chains"
+            );
+        } else {
+            println!("  reachable panic sites: {count}/{budget}");
         }
     }
     for note in &report.notes {

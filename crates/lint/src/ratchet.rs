@@ -13,12 +13,19 @@ use std::path::Path;
 /// Name of the ratchet file at the workspace root.
 pub const RATCHET_FILE: &str = "hetlint.ratchet";
 
+/// Reserved ratchet key: the R13 budget for panic sites reachable from
+/// fabric dispatch. Not a crate name — it lives in the same file so the
+/// two ratchets travel and review together.
+pub const REACHABLE_PANICS_KEY: &str = "reachable-panics";
+
 /// Parsed budgets, in file order.
 #[derive(Clone, Debug, Default)]
 pub struct Ratchet {
     /// `(crate, budget)` pairs; crates absent from the file have
     /// budget 0.
     pub budgets: Vec<(String, usize)>,
+    /// The R13 `reachable-panics` budget; 0 when the file has no entry.
+    pub reachable_panics: usize,
 }
 
 impl Ratchet {
@@ -36,6 +43,7 @@ impl Ratchet {
 /// lines. Duplicate crates and malformed lines are errors.
 pub fn parse(text: &str) -> Result<Ratchet, String> {
     let mut budgets: Vec<(String, usize)> = Vec::new();
+    let mut reachable_panics: Option<usize> = None;
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
         let line = raw.trim();
@@ -63,6 +71,15 @@ pub fn parse(text: &str) -> Result<Ratchet, String> {
                 "{RATCHET_FILE}:{line_no}: budget `{value}` is not a non-negative integer"
             ));
         };
+        if name == REACHABLE_PANICS_KEY {
+            if reachable_panics.is_some() {
+                return Err(format!(
+                    "{RATCHET_FILE}:{line_no}: duplicate `{REACHABLE_PANICS_KEY}` entry"
+                ));
+            }
+            reachable_panics = Some(budget);
+            continue;
+        }
         if budgets.iter().any(|(n, _)| n == name) {
             return Err(format!(
                 "{RATCHET_FILE}:{line_no}: duplicate entry for crate `{name}`"
@@ -70,7 +87,7 @@ pub fn parse(text: &str) -> Result<Ratchet, String> {
         }
         budgets.push((name.to_string(), budget));
     }
-    Ok(Ratchet { budgets })
+    Ok(Ratchet { budgets, reachable_panics: reachable_panics.unwrap_or(0) })
 }
 
 /// Loads and parses the ratchet file at the workspace root.
@@ -107,5 +124,16 @@ mod tests {
     #[test]
     fn rejects_duplicate_crate() {
         assert!(parse("sim = 5\nsim = 4\n").is_err());
+    }
+
+    #[test]
+    fn reachable_panics_is_a_reserved_key_not_a_crate() {
+        let r = parse("sim = 1\nreachable-panics = 7\n").unwrap();
+        assert_eq!(r.reachable_panics, 7);
+        assert_eq!(r.budget_for("reachable-panics"), None);
+        assert_eq!(r.budget_for("sim"), Some(1));
+        let bare = parse("sim = 1\n").unwrap();
+        assert_eq!(bare.reachable_panics, 0);
+        assert!(parse("reachable-panics = 1\nreachable-panics = 2\n").is_err());
     }
 }

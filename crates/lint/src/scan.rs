@@ -116,6 +116,10 @@ pub fn normalize_rule(raw: &str) -> String {
         "stream-collision" | "seed-streams" => "r7".into(),
         "trace-registry" | "trace-kinds" => "r8".into(),
         "stale-allow" => "r9".into(),
+        "sim-purity" | "purity-taint" => "r10".into(),
+        "lock-discipline" | "locks" => "r11".into(),
+        "rng-provenance" | "rng-escape" => "r12".into(),
+        "panic-reach" | "reachable-panics" => "r13".into(),
         _ => key,
     }
 }

@@ -1,0 +1,14 @@
+//! R10 bad: an async simulation actor transitively reaches a print
+//! macro three hops down; the witness chain names every hop.
+
+pub async fn actor() {
+    run_step();
+}
+
+fn run_step() {
+    record_outcome();
+}
+
+fn record_outcome() {
+    println!("step done");
+}

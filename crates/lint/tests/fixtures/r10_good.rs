@@ -1,0 +1,15 @@
+//! R10 good: the actor emits through the Tracer; the console helper
+//! exists but is unreachable from every simulation entry point.
+
+pub async fn actor(tracer: &Tracer) {
+    let value = step();
+    tracer.emit(TraceKind::StepDone, value);
+}
+
+fn step() -> u64 {
+    41 + 1
+}
+
+fn debug_console() {
+    println!("not on any simulation path");
+}

@@ -1,0 +1,27 @@
+//! R11 good: the guard is dropped before the blocking wait, and both
+//! multi-lock paths agree on one global acquisition order.
+
+struct Pool;
+
+impl Pool {
+    fn handoff(&self) {
+        let guard = self.state.lock();
+        let item = guard.front();
+        drop(guard);
+        self.cond.wait(self.parked);
+    }
+}
+
+fn first() {
+    let a = reg.lock();
+    let b = shard.lock();
+    drop(b);
+    drop(a);
+}
+
+fn second() {
+    let a = reg.lock();
+    let b = shard.lock();
+    drop(b);
+    drop(a);
+}

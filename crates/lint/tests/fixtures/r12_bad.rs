@@ -1,0 +1,11 @@
+//! R12 bad: a SimRng stored in a thread-crossing container, and a live
+//! stream handle pushed through a channel send.
+
+pub struct SharedPolicy {
+    rng: Arc<SimRng>,
+}
+
+pub fn leak_stream(master: &SimRng, tx: &Sender<Job>) {
+    let worker_rng = master.substream(7);
+    tx.send(worker_rng);
+}

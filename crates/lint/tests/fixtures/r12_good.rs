@@ -1,0 +1,14 @@
+//! R12 good: the seed and stream index cross the channel; the stream
+//! itself is derived on the receiving side.
+
+pub struct StreamSpec {
+    pub index: u64,
+}
+
+pub fn hand_off(tx: &Sender<StreamSpec>) {
+    tx.send(StreamSpec { index: 7 });
+}
+
+pub fn on_receive(spec: StreamSpec, master: &SimRng) -> SimRng {
+    master.substream(spec.index)
+}

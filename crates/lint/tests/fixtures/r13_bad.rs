@@ -1,0 +1,14 @@
+//! R13 bad: an un-allowed unwrap on the fabric dispatch path.
+
+pub struct Htex;
+
+impl Htex {
+    pub fn submit(&self, spec: TaskSpec) {
+        enqueue(spec);
+    }
+}
+
+fn enqueue(spec: TaskSpec) {
+    let slot = free_slot().unwrap();
+    lanes.push(slot, spec);
+}

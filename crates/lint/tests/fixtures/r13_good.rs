@@ -1,0 +1,17 @@
+//! R13 good: faults take the typed failure path; the one remaining
+//! abort is a reasoned invariant and carries an allow.
+
+pub struct Htex;
+
+impl Htex {
+    pub fn submit(&self, spec: TaskSpec) -> Result<(), TaskFailure> {
+        let slot = free_slot().ok_or(TaskFailure::Saturated)?;
+        // hetlint: allow(r5) — free_slot() returned this index one line up
+        let lane = lanes.get(slot).expect("slot in range");
+        enqueue(lane, spec)
+    }
+}
+
+fn enqueue(lane: Lane, spec: TaskSpec) -> Result<(), TaskFailure> {
+    Ok(())
+}

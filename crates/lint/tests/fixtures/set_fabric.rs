@@ -1,0 +1,15 @@
+//! Cross-crate set fixture, fabric side: dispatch fans out into store
+//! and steer code living in other crates' files.
+
+pub struct Htex;
+
+impl Htex {
+    pub fn submit(&self, spec: TaskSpec) {
+        stage(spec);
+    }
+}
+
+fn stage(spec: TaskSpec) {
+    let backend = steer::select::choose_backend(spec.load);
+    store::blob::fetch(spec.key, backend);
+}

@@ -1,0 +1,10 @@
+//! Cross-crate set fixture, steer side: consulted on the dispatch
+//! path, but sink-free and panic-free.
+
+pub fn choose_backend(load: u64) -> usize {
+    if load > 8 {
+        1
+    } else {
+        0
+    }
+}

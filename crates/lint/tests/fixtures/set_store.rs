@@ -1,0 +1,12 @@
+//! Cross-crate set fixture, store side: an un-allowed unwrap and an
+//! ambient print, both reachable only through fabric dispatch.
+
+pub fn fetch(key: u64, backend: usize) -> Blob {
+    let blob = cache_lookup(key, backend).unwrap();
+    audit(key);
+    blob
+}
+
+fn audit(key: u64) {
+    println!("fetched {key}");
+}

@@ -85,7 +85,13 @@ impl<M> Ensemble<M> {
                 });
             }
         });
-        Ensemble { members: slots.into_iter().map(|s| s.expect("member trained")).collect() }
+        // `thread::scope` re-raises any child panic, so reaching this
+        // line means every spawned closure ran its `*slot = Some(..)`;
+        // the length check turns a (impossible) hole into a loud error
+        // instead of a silent truncation.
+        let members: Vec<M> = slots.into_iter().flatten().collect();
+        assert_eq!(members.len(), n_members, "a training thread left its slot empty");
+        Ensemble { members }
     }
 
     /// Applies a scalar prediction function across members and returns

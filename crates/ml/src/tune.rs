@@ -6,6 +6,7 @@
 //! downstream users re-tune when they swap in their own property
 //! functions.
 
+use crate::linalg::LinalgError;
 use crate::surrogate::{RffRidge, SurrogateParams};
 use hetflow_sim::SimRng;
 
@@ -69,13 +70,17 @@ pub fn kfold_indices(n: usize, k: usize, rng: &mut SimRng) -> Vec<Vec<usize>> {
 
 /// Mean k-fold validation RMSE of an [`RffRidge`] with the given
 /// hyperparameters.
+///
+/// Returns the fold-fit error (e.g. a non-positive-definite Gram
+/// matrix for a degenerate lambda) instead of panicking, so a grid
+/// search can surface which hyperparameter combination failed.
 pub fn cv_rmse(
     inputs: &[Vec<f64>],
     targets: &[f64],
     params: SurrogateParams,
     k: usize,
     rng: &mut SimRng,
-) -> f64 {
+) -> Result<f64, LinalgError> {
     let folds = kfold_indices(inputs.len(), k, rng);
     let mut total_se = 0.0;
     let mut total_n = 0usize;
@@ -89,14 +94,14 @@ pub fn cv_rmse(
             .filter(|i| !held.contains(i))
             .map(|i| targets[i])
             .collect();
-        let model = RffRidge::fit(&train_x, &train_y, params, rng).expect("cv fit");
+        let model = RffRidge::fit(&train_x, &train_y, params, rng)?;
         for &i in held_out {
             let err = model.predict(&inputs[i]) - targets[i];
             total_se += err * err;
             total_n += 1;
         }
     }
-    (total_se / total_n as f64).sqrt()
+    Ok((total_se / total_n as f64).sqrt())
 }
 
 /// Result of a grid search.
@@ -112,6 +117,10 @@ pub struct GridSearchResult {
 
 /// Exhaustive grid search over lengthscale × lambda (feature count
 /// fixed), using k-fold CV.
+///
+/// Fails with the first fold-fit error rather than panicking, so a
+/// degenerate grid point (e.g. a lambda that makes the Gram matrix
+/// singular) is reported, not fatal.
 pub fn grid_search(
     inputs: &[Vec<f64>],
     targets: &[f64],
@@ -120,22 +129,27 @@ pub fn grid_search(
     lambdas: &[f64],
     k: usize,
     rng: &mut SimRng,
-) -> GridSearchResult {
+) -> Result<GridSearchResult, LinalgError> {
     assert!(!lengthscales.is_empty() && !lambdas.is_empty());
     let mut evaluated = Vec::new();
+    let mut best: Option<(SurrogateParams, f64)> = None;
     for &ls in lengthscales {
         for &lam in lambdas {
             let params = SurrogateParams { n_features, lengthscale: ls, lambda: lam };
-            let rmse = cv_rmse(inputs, targets, params, k, rng);
+            let rmse = cv_rmse(inputs, targets, params, k, rng)?;
+            // Strict `<` keeps the first of tied minima, matching the
+            // evaluation order above.
+            if best.is_none_or(|(_, r)| rmse < r) {
+                best = Some((params, rmse));
+            }
             evaluated.push((params, rmse));
         }
     }
-    let (best, best_rmse) = evaluated
-        .iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .map(|(p, r)| (*p, *r))
-        .expect("nonempty grid");
-    GridSearchResult { best, best_rmse, evaluated }
+    // The emptiness assert above guarantees at least one iteration.
+    match best {
+        Some((best, best_rmse)) => Ok(GridSearchResult { best, best_rmse, evaluated }),
+        None => Err(LinalgError::ShapeMismatch),
+    }
 }
 
 #[cfg(test)]
@@ -191,7 +205,8 @@ mod tests {
             &[1e-2],
             3,
             &mut rng,
-        );
+        )
+        .expect("grid search fits");
         assert_eq!(result.evaluated.len(), 3);
         // The calibrated default (4.5) must beat the extremes on this
         // target family.
@@ -213,6 +228,7 @@ mod tests {
                 4,
                 &mut rng,
             )
+            .expect("cv fits")
         };
         assert_eq!(run().to_bits(), run().to_bits());
     }

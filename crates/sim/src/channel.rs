@@ -196,6 +196,8 @@ impl<T> Future for SendFuture<'_, T> {
             return Poll::Pending;
         }
         drop(s);
+        // hetlint: allow(r5) — poll-after-Ready violates the Future contract; the value
+        // was moved out when the send completed, so there is nothing sane to return.
         let value = self.value.take().expect("SendFuture polled after completion");
         // Receiver count was checked above; send_now cannot fail here.
         self.sender.send_now(value).map_err(|_| ClosedError)?;

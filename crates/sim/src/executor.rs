@@ -7,6 +7,7 @@
 //! to the next timer. Execution is deterministic: tasks are polled in FIFO
 //! wake order and timers fire in `(deadline, registration order)` order.
 
+use crate::rng::SimRng;
 use crate::time::SimTime;
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
@@ -32,11 +33,20 @@ struct ReadyQueue {
 }
 
 impl ReadyQueue {
+    // A poisoned lock is harmless here: the queue holds plain task ids,
+    // so a panic mid-push leaves no broken invariant to propagate. Eat
+    // the poison instead of double-panicking on the wake path.
     fn push(&self, id: TaskId) {
-        self.queue.lock().expect("ready queue poisoned").push_back(id);
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push_back(id);
     }
     fn pop(&self) -> Option<TaskId> {
-        self.queue.lock().expect("ready queue poisoned").pop_front()
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop_front()
     }
 }
 
@@ -63,13 +73,19 @@ struct TimerEntry {
 
 struct TimerKey {
     at: SimTime,
+    /// Tie-break among equal deadlines. Zero in normal operation (so
+    /// `seq` — registration order — decides); a seeded random draw in
+    /// [`Sim::set_tie_shuffle`] mode, which perturbs the firing order of
+    /// exactly the timers whose order the determinism contract says must
+    /// not matter.
+    tie: u64,
     seq: u64,
     entry: Rc<TimerEntry>,
 }
 
 impl PartialEq for TimerKey {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.tie == other.tie && self.seq == other.seq
     }
 }
 impl Eq for TimerKey {}
@@ -80,7 +96,7 @@ impl PartialOrd for TimerKey {
 }
 impl Ord for TimerKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        (self.at, self.tie, self.seq).cmp(&(other.at, other.tie, other.seq))
     }
 }
 
@@ -93,6 +109,7 @@ struct Core {
     tasks: RefCell<HashMap<TaskId, LocalFuture>>,
     polls: Cell<u64>,
     timer_fires: Cell<u64>,
+    tie_shuffle: RefCell<Option<SimRng>>,
 }
 
 /// Summary of a completed [`Sim::run`].
@@ -137,8 +154,36 @@ impl Sim {
                 tasks: RefCell::new(HashMap::new()),
                 polls: Cell::new(0),
                 timer_fires: Cell::new(0),
+                tie_shuffle: RefCell::new(None),
             }),
         }
+    }
+
+    /// Enables schedule-perturbation mode: timers registered from now on
+    /// get a seeded random tie-break that decides firing order among
+    /// *equal* deadlines (unequal deadlines still fire in time order).
+    ///
+    /// The determinism contract promises that nothing observable depends
+    /// on the FIFO order of same-instant timers — actors that collide at
+    /// one instant must be logically independent. This mode is the
+    /// runtime sanitizer for that claim: run the same seed under several
+    /// shuffle seeds and assert the `Tracer::digest` is invariant. A
+    /// digest change pinpoints a hidden same-timestamp ordering
+    /// dependency — a race no token-level or call-graph rule can see.
+    ///
+    /// The shuffle stream is internal to the executor and consumes no
+    /// draws from any workload stream, so enabling it never perturbs
+    /// workload randomness.
+    pub fn set_tie_shuffle(&self, seed: u64) {
+        *self.core.tie_shuffle.borrow_mut() =
+            Some(SimRng::stream(seed, "executor-tie-shuffle"));
+    }
+
+    /// Creates a simulation with tie-shuffle mode enabled from t=0.
+    pub fn with_tie_shuffle(seed: u64) -> Self {
+        let sim = Sim::new();
+        sim.set_tie_shuffle(seed);
+        sim
     }
 
     /// Current virtual time.
@@ -200,8 +245,13 @@ impl Sim {
         });
         let seq = self.core.next_timer_seq.get();
         self.core.next_timer_seq.set(seq + 1);
+        let tie = match self.core.tie_shuffle.borrow_mut().as_mut() {
+            Some(rng) => rng.next_u64(),
+            None => 0,
+        };
         self.core.timers.borrow_mut().push(Reverse(TimerKey {
             at,
+            tie,
             seq,
             entry: Rc::clone(&entry),
         }));
@@ -690,5 +740,56 @@ mod tests {
         let r = sim.run();
         assert_eq!(r.timer_fires, 3);
         assert!(r.polls >= 4);
+    }
+
+    /// Spawns `n` tasks that all sleep until the same instant and
+    /// records the order their timers fire in.
+    fn equal_deadline_order(shuffle: Option<u64>) -> Vec<u64> {
+        let sim = match shuffle {
+            Some(seed) => Sim::with_tie_shuffle(seed),
+            None => Sim::new(),
+        };
+        let acc: Rc<StdRefCell<Vec<u64>>> = Rc::default();
+        for i in 0..16u64 {
+            let s = sim.clone();
+            let acc = Rc::clone(&acc);
+            sim.spawn(async move {
+                s.sleep(secs(5.0)).await;
+                acc.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        let order = acc.borrow().clone();
+        order
+    }
+
+    #[test]
+    fn tie_shuffle_perturbs_equal_deadlines_deterministically() {
+        let fifo = equal_deadline_order(None);
+        assert_eq!(fifo, (0..16).collect::<Vec<_>>(), "default mode is FIFO");
+        let a = equal_deadline_order(Some(7));
+        assert_eq!(a, equal_deadline_order(Some(7)), "same shuffle seed replays");
+        assert_ne!(a, fifo, "shuffle should perturb same-instant order");
+        assert_ne!(a, equal_deadline_order(Some(8)), "seeds should differ");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>(), "a permutation, no loss");
+    }
+
+    #[test]
+    fn tie_shuffle_preserves_time_order_across_deadlines() {
+        let sim = Sim::with_tie_shuffle(3);
+        let acc: Rc<StdRefCell<Vec<u64>>> = Rc::default();
+        for i in 0..10u64 {
+            let s = sim.clone();
+            let acc = Rc::clone(&acc);
+            sim.spawn(async move {
+                s.sleep(secs((10 - i) as f64)).await;
+                acc.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        // Distinct deadlines: the shuffle never reorders across time.
+        assert_eq!(acc.borrow().clone(), (0..10u64).rev().collect::<Vec<_>>());
     }
 }

@@ -149,6 +149,8 @@ impl SemState {
             }
             if self.permits >= front.count {
                 self.permits -= front.count;
+                // hetlint: allow(r5) — the loop condition just matched `front()`, so the
+                // queue cannot be empty; a None here is semaphore bookkeeping corruption.
                 let w = self.waiters.pop_front().expect("front exists");
                 w.granted.set(true);
                 let waker = w.waker.borrow_mut().take();

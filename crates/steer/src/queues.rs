@@ -311,6 +311,8 @@ impl CompletedTask {
     /// unreachable proxied output degrades the record to failed instead
     /// of panicking.
     pub async fn resolve(mut self) -> ResolvedTask {
+        // hetlint: allow(r5) — resolve() consumes self, so the slot can
+        // only be empty if the struct was corrupted; nothing to degrade to.
         let mut result = self.result.take().expect("resolve called twice");
         let queues = &self.queues;
         let sim = queues.sim().clone();

@@ -91,7 +91,20 @@ fn record_timings_reproducible_across_runs() {
 /// Runs a small moldesign campaign with tracing on and returns the
 /// trace digest plus the event count, under the given fabric config.
 fn traced_digest(config: WorkflowConfig, seed: u64) -> (u64, usize) {
-    let sim = Sim::new();
+    shuffled_traced_digest(config, seed, None)
+}
+
+/// Like [`traced_digest`], optionally enabling the executor's
+/// tie-shuffle mode: same-instant timers fire in a seed-randomized
+/// order instead of registration order. The determinism contract says
+/// no observable output may depend on that order, so the digest must
+/// be invariant across shuffle seeds — this helper is the probe the
+/// invariance tests below are built on.
+fn shuffled_traced_digest(config: WorkflowConfig, seed: u64, shuffle: Option<u64>) -> (u64, usize) {
+    let sim = match shuffle {
+        Some(s) => Sim::with_tie_shuffle(s),
+        None => Sim::new(),
+    };
     let tracer = Tracer::enabled();
     let spec = DeploymentSpec { cpu_workers: 4, gpu_workers: 2, seed, ..Default::default() };
     let d = deploy(&sim, config, &spec, tracer.clone());
@@ -282,6 +295,29 @@ fn trace_digest_reproducible_under_chaos_engine() {
     // The scripted chaos must actually perturb the run.
     let (clean, _) = traced_digest(WorkflowConfig::FnXGlobus, 1234);
     assert_ne!(d1, clean, "the chaos script should alter the trace");
+}
+
+#[test]
+fn tie_shuffle_leaves_trace_digest_invariant() {
+    // The runtime half of the determinism contract: randomizing the
+    // firing order of *equal-timestamp* timers must not change a single
+    // bit of the trace, for either fabric. A divergence here means some
+    // actor smuggled an ordering dependency between logically
+    // independent same-instant events — a race the static rules
+    // (R1–R13) cannot see.
+    for config in [WorkflowConfig::FnXGlobus, WorkflowConfig::ParslRedis] {
+        let (baseline, n) = shuffled_traced_digest(config, 1234, None);
+        assert!(n > 0, "traced campaign emitted no events");
+        for shuffle_seed in [1u64, 2, 3] {
+            let (shuffled, m) = shuffled_traced_digest(config, 1234, Some(shuffle_seed));
+            assert_eq!(
+                (shuffled, m),
+                (baseline, n),
+                "tie shuffle (seed {shuffle_seed}) changed the {config:?} trace: \
+                 a same-timestamp ordering dependency leaked into an observable"
+            );
+        }
+    }
 }
 
 #[test]

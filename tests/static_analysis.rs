@@ -5,9 +5,13 @@
 //! as an integration test so a wall-clock read, ambient entropy source,
 //! hash-order iteration, stray thread spawn, unwrap-budget overrun,
 //! ad-hoc float ordering, seed-stream name collision (R7), trace-kind
-//! registry drift (R8), or stale suppression (R9) fails `cargo test`
-//! directly. See DESIGN.md "Determinism rules" for the rule catalogue
-//! and the `// hetlint: allow(<rule>) — <reason>` suppression syntax.
+//! registry drift (R8), stale suppression (R9), or any interprocedural
+//! finding — ambient I/O reachable from the simulation (R10), a guard
+//! held across a blocking call (R11), a SimRng crossing a thread
+//! boundary (R12), a panic site reachable from fabric dispatch over
+//! budget (R13) — fails `cargo test` directly. See DESIGN.md
+//! "Determinism rules" for the rule catalogue and the
+//! `// hetlint: allow(<rule>) — <reason>` suppression syntax.
 
 use std::path::Path;
 
@@ -71,6 +75,66 @@ fn ratchet_file_present_and_well_formed() {
         budgets.budget_for("lint"),
         Some(0),
         "the lint crate polices itself at budget 0"
+    );
+}
+
+#[test]
+fn reachable_panics_ratchet_is_enforced_on_the_real_tree() {
+    // R13 accounting: the reserved `reachable-panics` key must be
+    // present in hetlint.ratchet, and the real workspace must sit at or
+    // under it. A new unwrap on the dispatch path fails here with its
+    // witness chain, not in some later CI stage.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let budgets = hetflow_lint::ratchet::load(root).expect("hetlint.ratchet must load");
+    let report = hetflow_lint::run(root).expect("workspace walk failed");
+    let (count, budget) = report
+        .reachable_panics
+        .expect("fabric dispatch exists, so R13 must have run");
+    assert_eq!(budget, budgets.reachable_panics, "report uses the ratchet's budget");
+    assert!(
+        count <= budget,
+        "{count} panic sites reachable from fabric dispatch exceed the \
+         reachable-panics budget of {budget} (see the R13 witness chains \
+         in `cargo run -p hetflow-lint`)"
+    );
+}
+
+#[test]
+fn callgraph_json_of_real_workspace_round_trips() {
+    // The CI artifact is `hetlint --callgraph --format json`; this is
+    // the same serialize→parse round trip over the real tree, plus a
+    // pin that the graph actually spans the workspace.
+    use hetflow_lint::json;
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let (_report, graph) = hetflow_lint::run_full(root).expect("workspace walk failed");
+    assert!(graph.nodes.len() > 300, "graph too small: {} nodes", graph.nodes.len());
+    let doc = json::graph_to_json(&graph);
+    let v = json::parse(&doc).expect("call-graph JSON must parse");
+    assert_eq!(
+        v.get("tool").and_then(json::Value::as_str),
+        Some("hetlint-callgraph")
+    );
+    let nodes = v.get("nodes").and_then(json::Value::as_arr).expect("nodes array");
+    assert_eq!(nodes.len(), graph.nodes.len());
+    let edges = v.get("edges").and_then(json::Value::as_arr).expect("edges array");
+    let n_edges: usize = graph.edges.iter().map(Vec::len).sum();
+    assert_eq!(edges.len(), n_edges, "one [from, to] pair per edge");
+    // Every edge endpoint must be a valid node id.
+    for pair in edges {
+        let pair = pair.as_arr().expect("edge is a [from, to] pair");
+        assert_eq!(pair.len(), 2);
+        for end in pair {
+            let id = end.as_u64().expect("edge endpoint is an id") as usize;
+            assert!(id < nodes.len(), "dangling edge endpoint {id}");
+        }
+    }
+    // The dispatch entries R10/R13 anchor on must be present by qname.
+    assert!(
+        nodes.iter().any(|n| {
+            n.get("qname").and_then(json::Value::as_str)
+                .is_some_and(|q| q.ends_with("Executor::submit"))
+        }),
+        "fabric dispatch nodes missing from the call graph"
     );
 }
 
