@@ -9,19 +9,30 @@
 //!   fabric (the Fig. 3 §V-C1 wiring): completed tasks per wall
 //!   second, including steering-queue and store hops.
 //! - `peak_rss_kb` — the `VmHWM` high-water mark from
-//!   `/proc/self/status` (0 on platforms without procfs).
+//!   `/proc/self/status`. On platforms without procfs the field is
+//!   `null`, never a silent `0`: a zero would read as "no memory
+//!   used" to a regression gate, while `null` plus the companion
+//!   `rss_source` field says "not measured here".
 //!
 //! Wall-clock reads are legal here: hetlint R1 scopes to sim-driven
 //! crates, and `bench` is a driver, not a simulation actor.
 //!
-//! Usage: `perf_baseline [output.json]` (default `BENCH_hetflow.json`
-//! in the current directory). The JSON is also echoed to stdout so CI
-//! logs carry the numbers even if the artifact upload fails.
+//! Usage: `perf_baseline [output.json] [--compare committed.json]`.
+//! With `--compare`, the run exits nonzero when either throughput rate
+//! regresses more than 30% against the committed baseline — wide
+//! enough that shared-runner noise passes, narrow enough that an
+//! accidental O(n) slip in the kernel does not. The JSON is also
+//! echoed to stdout so CI logs carry the numbers even if the artifact
+//! upload fails.
 
 use std::time::{Duration, Instant};
 
 use hetflow_bench::{NoopPipeline, StoreKind};
 use hetflow_sim::Sim;
+
+/// Regression gate: fail `--compare` when a rate drops below this
+/// fraction of the committed baseline.
+const COMPARE_FLOOR: f64 = 0.70;
 
 /// Timer-wheel churn: `sleepers` tasks each awaiting `rounds` staggered
 /// timers. Returns (timer fires, wall seconds).
@@ -51,33 +62,35 @@ fn noop_campaign(n_tasks: usize) -> (usize, f64) {
     (breakdown.count, start.elapsed().as_secs_f64())
 }
 
-/// `VmHWM` in kB from procfs; 0 when unavailable so the artifact keeps
-/// a stable shape on every platform.
-fn peak_rss_kb() -> u64 {
-    let status = match std::fs::read_to_string("/proc/self/status") {
-        Ok(s) => s,
-        Err(_) => return 0,
-    };
+/// `VmHWM` in kB from procfs; `None` when the platform has no procfs
+/// (or the field is missing) so the artifact says "unmeasured" instead
+/// of masquerading as a 0 kB process.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
     for line in status.lines() {
         if let Some(rest) = line.strip_prefix("VmHWM:") {
             let digits: String = rest.chars().filter(|c| c.is_ascii_digit()).collect();
             if let Ok(v) = digits.parse() {
-                return v;
+                return Some(v);
             }
         }
     }
-    0
+    None
 }
 
 fn rate(count: u64, secs: f64) -> f64 {
     count as f64 / secs.max(1e-9)
 }
 
-fn render(fires: u64, churn_secs: f64, tasks: usize, campaign_secs: f64, rss_kb: u64) -> String {
+fn render(fires: u64, churn_secs: f64, tasks: usize, campaign_secs: f64, rss_kb: Option<u64>) -> String {
+    let (rss, rss_source) = match rss_kb {
+        Some(v) => (v.to_string(), "procfs"),
+        None => ("null".to_string(), "unavailable"),
+    };
     format!(
-        "{{\n  \"tool\": \"hetflow-bench\",\n  \"schema_version\": 1,\n  \
+        "{{\n  \"tool\": \"hetflow-bench\",\n  \"schema_version\": 2,\n  \
          \"events_per_sec\": {:.0},\n  \"tasks_per_sec\": {:.1},\n  \
-         \"peak_rss_kb\": {rss_kb},\n  \"detail\": {{\n    \
+         \"peak_rss_kb\": {rss},\n  \"rss_source\": \"{rss_source}\",\n  \"detail\": {{\n    \
          \"timer_fires\": {fires},\n    \"timer_wall_secs\": {churn_secs:.4},\n    \
          \"noop_tasks\": {tasks},\n    \"noop_wall_secs\": {campaign_secs:.4}\n  }}\n}}\n",
         rate(fires, churn_secs),
@@ -85,8 +98,65 @@ fn render(fires: u64, churn_secs: f64, tasks: usize, campaign_secs: f64, rss_kb:
     )
 }
 
+/// Pulls a top-level numeric field out of a baseline artifact. The
+/// artifact is our own stable shape (`"key": 123.4,`), so a scan
+/// beats a JSON dependency; returns `None` on absent or non-numeric
+/// values (including the `null` RSS sentinel).
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compares a fresh run against a committed baseline; returns the list
+/// of human-readable gate failures (empty = pass). Missing baseline
+/// fields are a pass — an older-schema artifact must not brick CI.
+fn compare(baseline: &str, events_per_sec: f64, tasks_per_sec: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (key, got) in [("events_per_sec", events_per_sec), ("tasks_per_sec", tasks_per_sec)] {
+        let Some(want) = json_number(baseline, key) else { continue };
+        if want <= 0.0 {
+            continue;
+        }
+        let ratio = got / want;
+        if ratio < COMPARE_FLOOR {
+            failures.push(format!(
+                "{key} regressed: {got:.0} vs committed {want:.0} \
+                 ({:.0}% of baseline, floor {:.0}%)",
+                ratio * 100.0,
+                COMPARE_FLOOR * 100.0
+            ));
+        } else if ratio < 1.0 {
+            eprintln!(
+                "perf_baseline: {key} at {:.0}% of committed baseline \
+                 ({got:.0} vs {want:.0}) — within the {:.0}% floor, not failing",
+                ratio * 100.0,
+                COMPARE_FLOOR * 100.0
+            );
+        }
+    }
+    failures
+}
+
 fn main() -> std::process::ExitCode {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_hetflow.json".to_string());
+    let mut out_path = String::from("BENCH_hetflow.json");
+    let mut compare_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--compare" {
+            compare_path = args.next();
+            if compare_path.is_none() {
+                eprintln!("perf_baseline: --compare needs a baseline path");
+                return std::process::ExitCode::from(2);
+            }
+        } else {
+            out_path = arg;
+        }
+    }
 
     let (fires, churn_secs) = timer_churn(200, 200);
     let (tasks, campaign_secs) = noop_campaign(300);
@@ -99,6 +169,25 @@ fn main() -> std::process::ExitCode {
         return std::process::ExitCode::from(2);
     }
     eprintln!("perf_baseline: wrote {out_path}");
+
+    if let Some(path) = compare_path {
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("perf_baseline: cannot read baseline {path}: {e}");
+                return std::process::ExitCode::from(2);
+            }
+        };
+        let failures =
+            compare(&baseline, rate(fires, churn_secs), rate(tasks as u64, campaign_secs));
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("perf_baseline: FAIL: {f}");
+            }
+            return std::process::ExitCode::from(1);
+        }
+        eprintln!("perf_baseline: within {:.0}% of {path}", COMPARE_FLOOR * 100.0);
+    }
     std::process::ExitCode::SUCCESS
 }
 
@@ -120,19 +209,20 @@ mod tests {
 
     #[test]
     fn rss_probe_never_fails() {
-        // Either a real VmHWM or the 0 fallback; both keep the schema.
+        // Either a real VmHWM or the None sentinel; both keep the schema.
         let _ = peak_rss_kb();
     }
 
     #[test]
     fn artifact_shape_is_stable() {
-        let doc = render(100, 0.5, 10, 0.25, 4096);
+        let doc = render(100, 0.5, 10, 0.25, Some(4096));
         for key in [
             "\"tool\": \"hetflow-bench\"",
-            "\"schema_version\": 1",
+            "\"schema_version\": 2",
             "\"events_per_sec\": 200",
             "\"tasks_per_sec\": 40.0",
             "\"peak_rss_kb\": 4096",
+            "\"rss_source\": \"procfs\"",
             "\"timer_fires\": 100",
             "\"noop_tasks\": 10",
         ] {
@@ -141,7 +231,43 @@ mod tests {
     }
 
     #[test]
+    fn missing_rss_renders_null_sentinel() {
+        let doc = render(100, 0.5, 10, 0.25, None);
+        assert!(doc.contains("\"peak_rss_kb\": null"), "null sentinel in {doc}");
+        assert!(doc.contains("\"rss_source\": \"unavailable\""), "source tag in {doc}");
+        assert!(!doc.contains("\"peak_rss_kb\": 0"), "never a silent zero");
+    }
+
+    #[test]
     fn rate_guards_zero_elapsed() {
         assert!(rate(100, 0.0).is_finite());
+    }
+
+    #[test]
+    fn json_number_reads_artifact_fields() {
+        let doc = render(100, 0.5, 10, 0.25, None);
+        assert_eq!(json_number(&doc, "events_per_sec"), Some(200.0));
+        assert_eq!(json_number(&doc, "tasks_per_sec"), Some(40.0));
+        // The null sentinel is "absent" to the gate, not 0.
+        assert_eq!(json_number(&doc, "peak_rss_kb"), None);
+        assert_eq!(json_number(&doc, "no_such_key"), None);
+    }
+
+    #[test]
+    fn compare_passes_within_floor_and_fails_beyond() {
+        let baseline = render(1000, 1.0, 100, 1.0, Some(1)); // 1000 ev/s, 100 t/s
+        assert!(compare(&baseline, 1000.0, 100.0).is_empty(), "equal passes");
+        assert!(compare(&baseline, 750.0, 80.0).is_empty(), "noise passes");
+        let failures = compare(&baseline, 600.0, 100.0);
+        assert_eq!(failures.len(), 1, "40% events drop fails: {failures:?}");
+        assert!(failures[0].contains("events_per_sec"));
+        let failures = compare(&baseline, 1000.0, 50.0);
+        assert_eq!(failures.len(), 1, "50% tasks drop fails: {failures:?}");
+    }
+
+    #[test]
+    fn compare_tolerates_older_schema_baselines() {
+        // A baseline missing the rate keys gates nothing.
+        assert!(compare("{\"schema_version\": 1}", 10.0, 10.0).is_empty());
     }
 }

@@ -19,7 +19,7 @@ use crate::reliability::chaos::ChaosTargets;
 use crate::reliability::{Knob, RetryPolicies};
 use crate::task::{Arg, TaskError, TaskOutcome, TaskResult, TaskSpec, WorkerReport};
 use crate::worker::{WorkerPool, WorkerPoolConfig};
-use hetflow_sim::{channel, trace_kinds as kinds, Dist, Sender, Sim, SimRng, Tracer};
+use hetflow_sim::{channel, trace_kinds as kinds, Dist, Sender, Sim, SimRng, Symbol, Tracer};
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::future::Future;
@@ -112,6 +112,8 @@ impl EndpointSpec {
 struct Inner {
     sim: Sim,
     params: FnXParams,
+    /// Pre-interned `"fnx/ep{i}"` trace actors, one per endpoint.
+    actors: Vec<Symbol>,
     rng: RefCell<SimRng>,
     health: ReliabilityLayer,
     pools: Vec<WorkerPool>,
@@ -173,7 +175,7 @@ impl FnXExecutor {
         tracer: Tracer,
         policies: ReliabilityPolicies,
     ) -> FnXExecutor {
-        let mut route: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut route: BTreeMap<Symbol, Vec<usize>> = BTreeMap::new();
         let mut pools = Vec::new();
         let mut connectivity = Vec::new();
         let mut retries = Vec::new();
@@ -181,7 +183,7 @@ impl FnXExecutor {
         let mut pool_streams = Vec::new();
         for (i, ep) in endpoints.into_iter().enumerate() {
             for topic in &ep.topics {
-                route.entry((*topic).to_owned()).or_default().push(i);
+                route.entry(Symbol::intern(topic)).or_default().push(i);
             }
             let (pool_res_tx, pool_res_rx) = channel::<TaskResult>();
             retries.push(ep.pool.retry.clone());
@@ -194,9 +196,12 @@ impl FnXExecutor {
         }
         let health =
             ReliabilityLayer::new(sim, tracer.clone(), "fnx", policies, route, &connectivity);
+        let actors =
+            (0..pools.len()).map(|i| Symbol::intern(&format!("fnx/ep{i}"))).collect();
         let inner = Rc::new(Inner {
             sim: sim.clone(),
             params,
+            actors,
             rng: RefCell::new(rng.substream(u64::MAX)),
             health,
             pools,
@@ -276,18 +281,18 @@ impl FnXExecutor {
     /// `max_reroutes` budget) or fails it with `TaskError::Timeout`;
     /// the failure rides the normal result channel.
     async fn deliver(inner: Rc<Inner>, task: TaskSpec, endpoint: usize) {
-        let deadline = inner.retries[endpoint].policy_for(&task.topic).timeout;
+        let deadline = inner.retries[endpoint].policy_for(task.topic).timeout;
         let Some(deadline) = deadline else {
             Self::deliver_inner(inner, task, endpoint).await;
             return;
         };
         let id = task.id;
-        let topic = task.topic.clone();
+        let topic = task.topic;
         let mut timing = task.timing;
         let input_bytes = task.args.iter().map(Arg::data_bytes).sum();
         let attempt = Box::pin(Self::deliver_inner(Rc::clone(&inner), task, endpoint));
         if inner.sim.timeout(deadline, attempt).await.is_err() {
-            match inner.health.on_timeout(endpoint, id, &topic) {
+            match inner.health.on_timeout(endpoint, id, topic) {
                 TimeoutVerdict::Reroute { spec, to } => {
                     let inner2 = Rc::clone(&inner);
                     // Boxed to break the deliver → deliver type cycle.
@@ -298,8 +303,8 @@ impl FnXExecutor {
                 TimeoutVerdict::Suppress => {}
                 TimeoutVerdict::Fail => {
                     let now = inner.sim.now();
-                    let actor = format!("fnx/ep{endpoint}");
-                    inner.tracer.emit(now, &actor, kinds::TASK_TIMEOUT, id, deadline.as_secs_f64());
+                    let actor = inner.actors[endpoint];
+                    inner.tracer.emit(now, actor, kinds::TASK_TIMEOUT, id, deadline.as_secs_f64());
                     timing.server_result_received = Some(now);
                     inner.timed_out.set(inner.timed_out.get() + 1);
                     inner.returned.set(inner.returned.get() + 1);
@@ -358,7 +363,7 @@ impl FnXExecutor {
         match inner.health.on_result(
             endpoint,
             result.id,
-            &result.topic,
+            result.topic,
             result.is_failed(),
             waste,
         ) {
@@ -402,19 +407,18 @@ impl Fabric for FnXExecutor {
             inner.sim.sleep(https).await;
             inner.submitted.set(inner.submitted.get() + 1);
             let id = task.id;
-            let topic = task.topic.clone();
+            let topic = task.topic;
             let input_bytes = task.args.iter().map(Arg::data_bytes).sum();
             let timing = task.timing;
             // Hedge watchdog: after the topic's quantile-based delay,
             // re-issue straggling tasks to another endpoint (first
             // result wins; the layer cancels the loser).
-            if let Some(delay) = inner.health.hedge_delay(&topic) {
+            if let Some(delay) = inner.health.hedge_delay(topic) {
                 let inner2 = Rc::clone(inner);
-                let topic2 = topic.clone();
                 inner.sim.spawn(async move {
                     loop {
                         inner2.sim.sleep(delay).await;
-                        let Some((spec, to)) = inner2.health.try_hedge(id, &topic2) else {
+                        let Some((spec, to)) = inner2.health.try_hedge(id, topic) else {
                             break;
                         };
                         let inner3 = Rc::clone(&inner2);
@@ -427,22 +431,21 @@ impl Fabric for FnXExecutor {
             // Deadline watchdog: the hard round-trip backstop — a task
             // with no terminal outcome by the deadline is failed here;
             // copies still in flight are cancelled as they surface.
-            if let Some(dl) = inner.health.deadline(&topic) {
+            if let Some(dl) = inner.health.deadline(topic) {
                 let inner2 = Rc::clone(inner);
-                let topic2 = topic.clone();
                 inner.sim.spawn(async move {
                     inner2.sim.sleep(dl).await;
                     if inner2.health.expire(id) {
                         let now = inner2.sim.now();
-                        let actor = format!("fnx/ep{endpoint}");
-                        inner2.tracer.emit(now, &actor, kinds::TASK_TIMEOUT, id, dl.as_secs_f64());
+                        let actor = inner2.actors[endpoint];
+                        inner2.tracer.emit(now, actor, kinds::TASK_TIMEOUT, id, dl.as_secs_f64());
                         let mut timing = timing;
                         timing.server_result_received = Some(now);
                         inner2.timed_out.set(inner2.timed_out.get() + 1);
                         inner2.returned.set(inner2.returned.get() + 1);
                         let result = TaskResult {
                             id,
-                            topic: topic2,
+                            topic,
                             output: Arg::inline((), 0),
                             input_bytes,
                             report: WorkerReport::default(),

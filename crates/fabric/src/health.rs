@@ -23,7 +23,7 @@
 
 use crate::reliability::Connectivity;
 use crate::task::{TaskId, TaskSpec};
-use hetflow_sim::{trace_kinds as kinds, Samples, Sim, SimTime, Tracer};
+use hetflow_sim::{trace_kinds as kinds, Samples, Sim, SimTime, Symbol, Tracer};
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -157,20 +157,22 @@ impl ReliabilityPolicy {
 pub struct ReliabilityPolicies {
     /// Policy for topics without a dedicated entry.
     pub default: ReliabilityPolicy,
-    /// Topic-specific overrides.
-    pub per_topic: BTreeMap<String, ReliabilityPolicy>,
+    /// Topic-specific overrides. Keyed by interned [`Symbol`]; symbols
+    /// order by their resolved string, so iteration matches the old
+    /// `BTreeMap<String, _>` exactly.
+    pub per_topic: BTreeMap<Symbol, ReliabilityPolicy>,
 }
 
 impl ReliabilityPolicies {
     /// Builder: sets the policy for one topic.
-    pub fn with_topic(mut self, topic: impl Into<String>, policy: ReliabilityPolicy) -> Self {
+    pub fn with_topic(mut self, topic: impl Into<Symbol>, policy: ReliabilityPolicy) -> Self {
         self.per_topic.insert(topic.into(), policy);
         self
     }
 
     /// The policy governing `topic`.
-    pub fn policy_for(&self, topic: &str) -> &ReliabilityPolicy {
-        self.per_topic.get(topic).unwrap_or(&self.default)
+    pub fn policy_for(&self, topic: impl Into<Symbol>) -> &ReliabilityPolicy {
+        self.per_topic.get(&topic.into()).unwrap_or(&self.default)
     }
 }
 
@@ -271,13 +273,15 @@ struct LayerInner {
     tracer: Tracer,
     /// Fabric label for trace actors (`"fnx"` / `"htex"`).
     label: &'static str,
+    /// Pre-interned `"<label>/health"` trace actor.
+    actor: Symbol,
     policies: ReliabilityPolicies,
     /// Topic → candidate endpoints, primary first.
-    route: BTreeMap<String, Vec<usize>>,
+    route: BTreeMap<Symbol, Vec<usize>>,
     endpoints: Vec<EndpointHealth>,
     inflight: RefCell<BTreeMap<TaskId, Inflight>>,
     /// Per-topic round-trip latency samples feeding hedge delays.
-    rtt: RefCell<BTreeMap<String, Samples>>,
+    rtt: RefCell<BTreeMap<Symbol, Samples>>,
     /// Seconds burned by cancelled losing copies.
     wasted: Cell<f64>,
     cancelled: Cell<u64>,
@@ -311,7 +315,7 @@ impl ReliabilityLayer {
         tracer: Tracer,
         label: &'static str,
         policies: ReliabilityPolicies,
-        route: BTreeMap<String, Vec<usize>>,
+        route: BTreeMap<Symbol, Vec<usize>>,
         connectivity: &[Connectivity],
     ) -> Self {
         let n = route.values().flat_map(|c| c.iter()).fold(0, |m, &e| m.max(e + 1));
@@ -321,6 +325,7 @@ impl ReliabilityLayer {
                 sim: sim.clone(),
                 tracer,
                 label,
+                actor: Symbol::intern(&format!("{label}/health")),
                 policies,
                 route,
                 endpoints,
@@ -367,13 +372,13 @@ impl ReliabilityLayer {
         });
     }
 
-    fn policy(&self, topic: &str) -> &ReliabilityPolicy {
+    fn policy(&self, topic: Symbol) -> &ReliabilityPolicy {
         self.inner.policies.policy_for(topic)
     }
 
     /// Candidate endpoints for `topic`, primary first.
-    pub fn candidates(&self, topic: &str) -> Option<&[usize]> {
-        self.inner.route.get(topic).map(|v| v.as_slice())
+    pub fn candidates(&self, topic: impl Into<Symbol>) -> Option<&[usize]> {
+        self.inner.route.get(&topic.into()).map(|v| v.as_slice())
     }
 
     /// Registers a dispatch and picks the endpoint: the first
@@ -383,7 +388,7 @@ impl ReliabilityLayer {
     /// for the topic this is exactly the PR-2 primary-only routing and
     /// touches no breaker state.
     pub fn admit(&self, task: &TaskSpec) -> Option<usize> {
-        let policy = self.policy(&task.topic).clone();
+        let policy = self.policy(task.topic).clone();
         let candidates = self.inner.route.get(&task.topic)?;
         let endpoint = if policy.breaker.enabled() {
             self.pick(task.id, candidates)
@@ -434,13 +439,14 @@ impl ReliabilityLayer {
     /// quantile times the factor, once enough round trips have been
     /// observed. `None` while hedging is disabled or the estimate is
     /// not yet trustworthy.
-    pub fn hedge_delay(&self, topic: &str) -> Option<Duration> {
+    pub fn hedge_delay(&self, topic: impl Into<Symbol>) -> Option<Duration> {
+        let topic = topic.into();
         let hedge = &self.policy(topic).hedge;
         if !hedge.enabled() {
             return None;
         }
         let rtt = self.inner.rtt.borrow();
-        let samples = rtt.get(topic)?;
+        let samples = rtt.get(&topic)?;
         if samples.len() < hedge.min_samples() {
             return None;
         }
@@ -451,8 +457,8 @@ impl ReliabilityLayer {
     }
 
     /// The hard round-trip deadline for `topic`, if configured.
-    pub fn deadline(&self, topic: &str) -> Option<Duration> {
-        let d = self.policy(topic).deadline;
+    pub fn deadline(&self, topic: impl Into<Symbol>) -> Option<Duration> {
+        let d = self.policy(topic.into()).deadline;
         if d.is_zero() {
             None
         } else {
@@ -466,9 +472,10 @@ impl ReliabilityLayer {
     /// a straggling or dead endpoint is actually bypassed; with a
     /// single endpoint the copy re-queues there (still rescuing tasks
     /// stuck behind a crash). Emits `task_hedged`.
-    pub fn try_hedge(&self, id: TaskId, topic: &str) -> Option<(TaskSpec, usize)> {
+    pub fn try_hedge(&self, id: TaskId, topic: impl Into<Symbol>) -> Option<(TaskSpec, usize)> {
+        let topic = topic.into();
         let max = self.policy(topic).hedge.max_hedges();
-        let candidates = self.inner.route.get(topic)?.clone();
+        let candidates = self.inner.route.get(&topic)?.clone();
         let mut reg = self.inner.inflight.borrow_mut();
         let entry = reg.get_mut(&id)?;
         if entry.done || entry.hedges >= max {
@@ -481,10 +488,9 @@ impl ReliabilityLayer {
         drop(reg);
         let to = self.pick_other(id, &candidates, None);
         self.inner.hedged.set(self.inner.hedged.get() + 1);
-        let actor = format!("{}/health", self.inner.label);
         self.inner.tracer.emit(
             self.inner.sim.now(),
-            &actor,
+            self.inner.actor,
             kinds::TASK_HEDGED,
             id,
             copy as f64,
@@ -516,10 +522,11 @@ impl ReliabilityLayer {
         &self,
         endpoint: usize,
         id: TaskId,
-        topic: &str,
+        topic: impl Into<Symbol>,
         failed: bool,
         waste_secs: f64,
     ) -> Verdict {
+        let topic = topic.into();
         let now = self.inner.sim.now();
         let cfg = self.policy(topic).breaker.clone();
         let mut reg = self.inner.inflight.borrow_mut();
@@ -557,7 +564,7 @@ impl ReliabilityLayer {
             self.inner
                 .rtt
                 .borrow_mut()
-                .entry(topic.to_owned())
+                .entry(topic)
                 .or_default()
                 .record(rtt);
         }
@@ -570,9 +577,10 @@ impl ReliabilityLayer {
     /// `task_rerouted`), suppress when a sibling copy is still live or
     /// the task already resolved, and fail otherwise. The timeout
     /// always counts as a failure signal for the endpoint's breaker.
-    pub fn on_timeout(&self, endpoint: usize, id: TaskId, topic: &str) -> TimeoutVerdict {
+    pub fn on_timeout(&self, endpoint: usize, id: TaskId, topic: impl Into<Symbol>) -> TimeoutVerdict {
+        let topic = topic.into();
         let policy = self.policy(topic).clone();
-        let candidates = self.inner.route.get(topic).cloned().unwrap_or_default();
+        let candidates = self.inner.route.get(&topic).cloned().unwrap_or_default();
         let mut reg = self.inner.inflight.borrow_mut();
         let Some(entry) = reg.get_mut(&id) else {
             return TimeoutVerdict::Fail;
@@ -595,10 +603,9 @@ impl ReliabilityLayer {
             if let Some(spec) = spec {
                 let to = self.pick_other(id, &candidates, Some(endpoint));
                 self.inner.rerouted.set(self.inner.rerouted.get() + 1);
-                let actor = format!("{}/health", self.inner.label);
                 self.inner.tracer.emit(
                     self.inner.sim.now(),
-                    &actor,
+                    self.inner.actor,
                     kinds::TASK_REROUTED,
                     id,
                     n as f64,
@@ -640,10 +647,9 @@ impl ReliabilityLayer {
     fn cancel(&self, id: TaskId, waste_secs: f64) {
         self.inner.cancelled.set(self.inner.cancelled.get() + 1);
         self.inner.wasted.set(self.inner.wasted.get() + waste_secs.max(0.0));
-        let actor = format!("{}/health", self.inner.label);
         self.inner.tracer.emit(
             self.inner.sim.now(),
-            &actor,
+            self.inner.actor,
             kinds::TASK_CANCELLED,
             id,
             waste_secs.max(0.0),
@@ -824,7 +830,7 @@ mod tests {
     fn layer_with(policies: ReliabilityPolicies, n_endpoints: usize) -> (Sim, ReliabilityLayer) {
         let sim = Sim::new();
         let mut route = BTreeMap::new();
-        route.insert("noop".to_owned(), (0..n_endpoints).collect::<Vec<_>>());
+        route.insert(Symbol::intern("noop"), (0..n_endpoints).collect::<Vec<_>>());
         let layer = ReliabilityLayer::new(
             &sim,
             Tracer::enabled(),
@@ -1127,7 +1133,7 @@ mod tests {
         let sim = Sim::new();
         let conn = Connectivity::always_on();
         let mut route = BTreeMap::new();
-        route.insert("noop".to_owned(), vec![0]);
+        route.insert(Symbol::intern("noop"), vec![0]);
         let policies = ReliabilityPolicies {
             default: ReliabilityPolicy {
                 breaker: BreakerConfig {
@@ -1168,7 +1174,7 @@ mod tests {
             vec![(SimTime::from_secs(5), Duration::from_secs(3))],
         );
         let mut route = BTreeMap::new();
-        route.insert("noop".to_owned(), vec![0]);
+        route.insert(Symbol::intern("noop"), vec![0]);
         let policies = ReliabilityPolicies {
             default: ReliabilityPolicy {
                 breaker: BreakerConfig {

@@ -20,7 +20,7 @@ use crate::reliability::chaos::ChaosTargets;
 use crate::reliability::{Knob, RetryPolicies};
 use crate::task::{Arg, TaskError, TaskOutcome, TaskResult, TaskSpec, WorkerReport};
 use crate::worker::{WorkerPool, WorkerPoolConfig};
-use hetflow_sim::{channel, trace_kinds as kinds, Dist, Sender, Sim, SimRng, Tracer};
+use hetflow_sim::{channel, trace_kinds as kinds, Dist, Sender, Sim, SimRng, Symbol, Tracer};
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::future::Future;
@@ -80,6 +80,8 @@ pub struct HtexEndpoint {
 struct Inner {
     sim: Sim,
     params: HtexParams,
+    /// Pre-interned `"htex/ep{i}"` trace actors, one per endpoint.
+    actors: Vec<Symbol>,
     rng: RefCell<SimRng>,
     health: ReliabilityLayer,
     pools: Vec<WorkerPool>,
@@ -137,7 +139,7 @@ impl HtexExecutor {
         tracer: Tracer,
         policies: ReliabilityPolicies,
     ) -> HtexExecutor {
-        let mut route: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut route: BTreeMap<Symbol, Vec<usize>> = BTreeMap::new();
         let mut pools = Vec::new();
         let mut links = Vec::new();
         let mut retries = Vec::new();
@@ -145,7 +147,7 @@ impl HtexExecutor {
         let mut pool_streams = Vec::new();
         for (i, ep) in endpoints.into_iter().enumerate() {
             for topic in &ep.topics {
-                route.entry((*topic).to_owned()).or_default().push(i);
+                route.entry(Symbol::intern(topic)).or_default().push(i);
             }
             let (pool_res_tx, pool_res_rx) = channel::<TaskResult>();
             retries.push(ep.pool.retry.clone());
@@ -165,9 +167,12 @@ impl HtexExecutor {
         // layer spawns no heartbeat watchers; breakers are fed by task
         // outcomes and timeouts only.
         let health = ReliabilityLayer::new(sim, tracer.clone(), "htex", policies, route, &[]);
+        let actors =
+            (0..pools.len()).map(|i| Symbol::intern(&format!("htex/ep{i}"))).collect();
         let inner = Rc::new(Inner {
             sim: sim.clone(),
             params,
+            actors,
             rng: RefCell::new(rng.substream(u64::MAX)),
             health,
             pools,
@@ -255,18 +260,18 @@ impl HtexExecutor {
     /// `RetryPolicy::timeout`, mirroring the FnX fabric: an undeliverable
     /// task fails with `TaskError::Timeout` through the result channel.
     async fn deliver(inner: Rc<Inner>, task: TaskSpec, endpoint: usize) {
-        let deadline = inner.retries[endpoint].policy_for(&task.topic).timeout;
+        let deadline = inner.retries[endpoint].policy_for(task.topic).timeout;
         let Some(deadline) = deadline else {
             Self::deliver_inner(inner, task, endpoint).await;
             return;
         };
         let id = task.id;
-        let topic = task.topic.clone();
+        let topic = task.topic;
         let mut timing = task.timing;
         let input_bytes = task.args.iter().map(Arg::data_bytes).sum();
         let attempt = Box::pin(Self::deliver_inner(Rc::clone(&inner), task, endpoint));
         if inner.sim.timeout(deadline, attempt).await.is_err() {
-            match inner.health.on_timeout(endpoint, id, &topic) {
+            match inner.health.on_timeout(endpoint, id, topic) {
                 TimeoutVerdict::Reroute { spec, to } => {
                     let inner2 = Rc::clone(&inner);
                     // Boxed to break the deliver → deliver type cycle.
@@ -277,8 +282,8 @@ impl HtexExecutor {
                 TimeoutVerdict::Suppress => {}
                 TimeoutVerdict::Fail => {
                     let now = inner.sim.now();
-                    let actor = format!("htex/ep{endpoint}");
-                    inner.tracer.emit(now, &actor, kinds::TASK_TIMEOUT, id, deadline.as_secs_f64());
+                    let actor = inner.actors[endpoint];
+                    inner.tracer.emit(now, actor, kinds::TASK_TIMEOUT, id, deadline.as_secs_f64());
                     timing.server_result_received = Some(now);
                     inner.timed_out.set(inner.timed_out.get() + 1);
                     inner.returned.set(inner.returned.get() + 1);
@@ -321,7 +326,7 @@ impl HtexExecutor {
         match inner.health.on_result(
             endpoint,
             result.id,
-            &result.topic,
+            result.topic,
             result.is_failed(),
             waste,
         ) {
@@ -357,17 +362,16 @@ impl Fabric for HtexExecutor {
             inner.sim.sleep(hetflow_sim::time::secs(hop + ser)).await;
             inner.submitted.set(inner.submitted.get() + 1);
             let id = task.id;
-            let topic = task.topic.clone();
+            let topic = task.topic;
             let input_bytes = task.args.iter().map(Arg::data_bytes).sum();
             let timing = task.timing;
             // Hedge watchdog (see the FnX fabric for the rationale).
-            if let Some(delay) = inner.health.hedge_delay(&topic) {
+            if let Some(delay) = inner.health.hedge_delay(topic) {
                 let inner2 = Rc::clone(inner);
-                let topic2 = topic.clone();
                 inner.sim.spawn(async move {
                     loop {
                         inner2.sim.sleep(delay).await;
-                        let Some((spec, to)) = inner2.health.try_hedge(id, &topic2) else {
+                        let Some((spec, to)) = inner2.health.try_hedge(id, topic) else {
                             break;
                         };
                         let inner3 = Rc::clone(&inner2);
@@ -378,22 +382,21 @@ impl Fabric for HtexExecutor {
                 });
             }
             // Deadline watchdog: hard round-trip backstop.
-            if let Some(dl) = inner.health.deadline(&topic) {
+            if let Some(dl) = inner.health.deadline(topic) {
                 let inner2 = Rc::clone(inner);
-                let topic2 = topic.clone();
                 inner.sim.spawn(async move {
                     inner2.sim.sleep(dl).await;
                     if inner2.health.expire(id) {
                         let now = inner2.sim.now();
-                        let actor = format!("htex/ep{endpoint}");
-                        inner2.tracer.emit(now, &actor, kinds::TASK_TIMEOUT, id, dl.as_secs_f64());
+                        let actor = inner2.actors[endpoint];
+                        inner2.tracer.emit(now, actor, kinds::TASK_TIMEOUT, id, dl.as_secs_f64());
                         let mut timing = timing;
                         timing.server_result_received = Some(now);
                         inner2.timed_out.set(inner2.timed_out.get() + 1);
                         inner2.returned.set(inner2.returned.get() + 1);
                         let result = TaskResult {
                             id,
-                            topic: topic2,
+                            topic,
                             output: Arg::inline((), 0),
                             input_bytes,
                             report: WorkerReport::default(),

@@ -9,7 +9,7 @@
 //! is offline. [`FailureModel`] models worker-level task failures with
 //! in-place re-execution.
 
-use hetflow_sim::{Dist, Event, Sim, SimRng, SimTime};
+use hetflow_sim::{Dist, Event, Sim, SimRng, SimTime, Symbol};
 use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -262,20 +262,22 @@ impl RetryPolicy {
 pub struct RetryPolicies {
     /// Policy for topics without a dedicated entry.
     pub default: RetryPolicy,
-    /// Topic-specific overrides.
-    pub per_topic: BTreeMap<String, RetryPolicy>,
+    /// Topic-specific overrides. Keyed by interned [`Symbol`]; symbols
+    /// order by their resolved string, so iteration matches the old
+    /// `BTreeMap<String, _>` exactly.
+    pub per_topic: BTreeMap<Symbol, RetryPolicy>,
 }
 
 impl RetryPolicies {
     /// Builder: sets the policy for one topic.
-    pub fn with_topic(mut self, topic: impl Into<String>, policy: RetryPolicy) -> Self {
+    pub fn with_topic(mut self, topic: impl Into<Symbol>, policy: RetryPolicy) -> Self {
         self.per_topic.insert(topic.into(), policy);
         self
     }
 
     /// The policy governing `topic`.
-    pub fn policy_for(&self, topic: &str) -> &RetryPolicy {
-        self.per_topic.get(topic).unwrap_or(&self.default)
+    pub fn policy_for(&self, topic: impl Into<Symbol>) -> &RetryPolicy {
+        self.per_topic.get(&topic.into()).unwrap_or(&self.default)
     }
 }
 

@@ -12,7 +12,7 @@
 //! (§V-C1, §V-D).
 
 use hetflow_store::{SiteId, UntypedProxy};
-use hetflow_sim::{SimRng, SimTime};
+use hetflow_sim::{SimRng, SimTime, Symbol};
 use std::any::Any;
 use std::rc::Rc;
 use std::time::Duration;
@@ -314,7 +314,7 @@ pub struct TaskSpec {
     /// Unique id.
     pub id: TaskId,
     /// Task type, e.g. `"simulate"`, `"train"`, `"infer"`, `"sample"`.
-    pub topic: String,
+    pub topic: Symbol,
     /// Input arguments.
     pub args: Vec<Arg>,
     /// The compute closure.
@@ -342,7 +342,7 @@ impl std::fmt::Debug for TaskSpec {
 
 impl TaskSpec {
     /// Creates a task with the given topic, args and closure.
-    pub fn new(id: TaskId, topic: impl Into<String>, args: Vec<Arg>, compute: TaskFn) -> Self {
+    pub fn new(id: TaskId, topic: impl Into<Symbol>, args: Vec<Arg>, compute: TaskFn) -> Self {
         TaskSpec {
             id,
             topic: topic.into(),
@@ -376,7 +376,7 @@ pub struct TaskResult {
     /// Task id.
     pub id: TaskId,
     /// Task topic.
-    pub topic: String,
+    pub topic: Symbol,
     /// The output (inline or proxied, per the result policy).
     pub output: Arg,
     /// Total input data size (bytes of underlying data, not wire size).
@@ -388,7 +388,7 @@ pub struct TaskResult {
     /// Which site executed the task.
     pub site: SiteId,
     /// Worker label, e.g. `"theta/3"`.
-    pub worker: String,
+    pub worker: Symbol,
     /// Whether the task succeeded or failed. Failed results carry a
     /// zero-byte placeholder output.
     pub outcome: TaskOutcome,

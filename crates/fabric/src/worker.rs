@@ -15,7 +15,8 @@ use crate::ser::SerModel;
 use crate::task::{Arg, TaskCtx, TaskError, TaskOutcome, TaskResult, TaskSpec, WorkerReport};
 use hetflow_store::{ProxyPolicy, SiteId};
 use hetflow_sim::{
-    channel, trace_kinds as kinds, Dist, Gauge, Receiver, Samples, Sender, Sim, SimRng, Tracer,
+    channel, trace_kinds as kinds, Dist, Gauge, Receiver, Samples, Sender, Sim, SimRng, Symbol,
+    Tracer,
 };
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -198,7 +199,9 @@ fn spawn_worker(
     tracer: Tracer,
 ) {
     let sim = sim.clone();
-    let name = format!("{}/{}", config.label, index);
+    // Pre-interned once per worker: every emit and result below reuses
+    // the copyable handle instead of cloning a String per event.
+    let name = Symbol::intern(&format!("{}/{}", config.label, index));
     sim.clone().spawn(async move {
         if !config.start_delays.is_empty() {
             let delay = config.start_delays[index % config.start_delays.len()];
@@ -216,7 +219,7 @@ fn spawn_worker(
             }
             shared.busy.borrow_mut().inc(started);
             task.timing.worker_started = Some(started);
-            tracer.emit(started, &name, kinds::TASK_STARTED, task.id, config.site.index() as f64);
+            tracer.emit(started, name, kinds::TASK_STARTED, task.id, config.site.index() as f64);
 
             let mut report = WorkerReport::default();
             // Upstream (thinker + server) serialization, including
@@ -271,7 +274,7 @@ fn spawn_worker(
                 // compute time plus a restart delay, then re-execute
                 // after the policy's backoff — until the attempt cap is
                 // exhausted, which fails the task gracefully.
-                let policy = config.retry.policy_for(&task.topic);
+                let policy = config.retry.policy_for(task.topic);
                 if let Some(fm) = &config.failure {
                     let cap = policy.effective_max_attempts(fm).max(1);
                     while fm.attempt_fails(&mut rng) {
@@ -288,7 +291,7 @@ fn spawn_worker(
                             sim.sleep(backoff).await;
                         }
                         attempts += 1;
-                        tracer.emit(sim.now(), &name, kinds::TASK_RETRY, task.id, attempts as f64);
+                        tracer.emit(sim.now(), name, kinds::TASK_RETRY, task.id, attempts as f64);
                     }
                 }
                 if failed.is_none() {
@@ -306,7 +309,7 @@ fn spawn_worker(
                         report.wasted_time += lost;
                         sim.sleep(lost).await;
                         attempts += 1;
-                        tracer.emit(sim.now(), &name, kinds::TASK_RETRY, task.id, attempts as f64);
+                        tracer.emit(sim.now(), name, kinds::TASK_RETRY, task.id, attempts as f64);
                     }
                     report.compute_time = compute;
                     sim.sleep(compute).await;
@@ -314,7 +317,7 @@ fn spawn_worker(
 
                     // Result: proxy if the policy says so, else inline.
                     // A put error fails the task, not the process.
-                    output = match config.result_policy.decide(&task.topic, work.output_size) {
+                    output = match config.result_policy.decide(task.topic.as_str(), work.output_size) {
                         Some(store) => {
                             match store.put_raw(work.output, work.output_size, config.site).await {
                                 Ok(key) => Arg::Proxied(hetflow_store::UntypedProxy::new(
@@ -345,14 +348,14 @@ fn spawn_worker(
             if failed.is_none() {
                 tracer.emit(
                     finished,
-                    &name,
+                    name,
                     kinds::TASK_FINISHED,
                     task.id,
                     config.site.index() as f64,
                 );
                 shared.completed.set(shared.completed.get() + 1);
             } else {
-                tracer.emit(finished, &name, kinds::TASK_FAILED, task.id, attempts as f64);
+                tracer.emit(finished, name, kinds::TASK_FAILED, task.id, attempts as f64);
                 shared.failed.set(shared.failed.get() + 1);
             }
             shared.busy.borrow_mut().dec(finished);
@@ -365,13 +368,13 @@ fn spawn_worker(
             };
             let result = TaskResult {
                 id: task.id,
-                topic: task.topic.clone(),
+                topic: task.topic,
                 output,
                 input_bytes,
                 report,
                 timing: task.timing,
                 site: config.site,
-                worker: name.clone(),
+                worker: name,
                 outcome,
             };
             if results.send_now(result).is_err() {

@@ -6,12 +6,33 @@
 //! wall time; the run loop polls all runnable tasks, then jumps the clock
 //! to the next timer. Execution is deterministic: tasks are polled in FIFO
 //! wake order and timers fire in `(deadline, registration order)` order.
+//!
+//! ## Timer store
+//!
+//! Timers live in a hierarchical calendar queue ([`TimerWheel`]): 11
+//! levels of 64 slots, level `L` spanning `64^L` ns per slot, with an
+//! occupancy bitmap per level. Insert and cancel are O(1); finding the
+//! next timer scans 11 bitmaps and cascades at most a handful of buckets.
+//! Firing order is *exactly* the old binary-heap order — the global
+//! lexicographic minimum of `(deadline, tie, registration seq)` — which
+//! the property test below checks against a heap reference under random
+//! insert/cancel/advance scripts. Two details keep the wheel honest:
+//!
+//! * **Eager cancellation.** A dropped [`Sleep`] removes its entry from
+//!   its bucket immediately (the slab records which bucket), so the pop
+//!   path never wades through tombstones.
+//! * **Backlog heap.** Peeking the next deadline cascades buckets and
+//!   advances the wheel cursor up to the minimum pending deadline; if
+//!   [`Sim::run_until`] then truncates the clock *below* the cursor, a
+//!   subsequently registered near-term timer would land behind the
+//!   cursor. Those (rare) entries go to a small binary heap that is
+//!   merged by `(deadline, tie, seq)` at pop time.
 
 use crate::rng::SimRng;
 use crate::time::SimTime;
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::BinaryHeap;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -19,8 +40,20 @@ use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 use std::time::Duration;
 
+/// Task ids pack a slab index and a generation so a recycled slot never
+/// mistakes a stale wake-up for its own.
 type TaskId = u64;
 type LocalFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+#[inline]
+fn pack_task(idx: u32, gen: u32) -> TaskId {
+    (u64::from(gen) << 32) | u64::from(idx)
+}
+
+#[inline]
+fn unpack_task(id: TaskId) -> (u32, u32) {
+    (id as u32, (id >> 32) as u32)
+}
 
 /// FIFO queue of runnable task ids, shared with wakers.
 ///
@@ -29,7 +62,7 @@ type LocalFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
 /// thread, so the wake path uses a lock-based queue instead of a `RefCell`.
 #[derive(Default)]
 struct ReadyQueue {
-    queue: Mutex<VecDeque<TaskId>>,
+    queue: Mutex<std::collections::VecDeque<TaskId>>,
 }
 
 impl ReadyQueue {
@@ -64,15 +97,62 @@ impl Wake for TaskWaker {
     }
 }
 
-/// A timer registration: fired flag plus the waker of the sleeping task.
-struct TimerEntry {
-    fired: Cell<bool>,
-    cancelled: Cell<bool>,
-    waker: RefCell<Option<Waker>>,
+/// One task slot: the future (taken out while being polled) plus a
+/// cached waker. The waker is allocated once per task at spawn; every
+/// `cx.waker().clone()` a future performs is then just an `Arc` refcount
+/// bump instead of a fresh allocation per poll.
+struct TaskSlot {
+    gen: u32,
+    fut: Option<LocalFuture>,
+    waker: Waker,
 }
 
-struct TimerKey {
-    at: SimTime,
+#[derive(Default)]
+struct TaskSlab {
+    slots: Vec<TaskSlot>,
+    free: Vec<u32>,
+}
+
+// ---------------------------------------------------------------------
+// Timer wheel
+// ---------------------------------------------------------------------
+
+const LEVEL_BITS: usize = 6;
+const SLOTS: usize = 1 << LEVEL_BITS; // 64
+/// 11 levels × 6 bits = 66 bits ≥ the 64-bit nanosecond clock, so the
+/// wheel covers the entire representable time range with no overflow
+/// bucket.
+const LEVELS: usize = 11;
+
+/// Handle to a registered timer: slab index + generation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct TimerHandle {
+    idx: u32,
+    gen: u32,
+}
+
+/// Where a live timer currently sits.
+#[derive(Clone, Copy, Debug)]
+enum Loc {
+    /// In `buckets[level * SLOTS + slot]`.
+    Wheel { level: u8, slot: u8 },
+    /// In the behind-cursor backlog heap (removed lazily via gen check).
+    Backlog,
+    /// Popped and woken; the slab slot lingers until the `Sleep` drops.
+    Fired,
+    /// On the free list.
+    Free,
+}
+
+struct TimerSlot {
+    gen: u32,
+    loc: Loc,
+    waker: Option<Waker>,
+}
+
+#[derive(Clone, Copy)]
+struct WheelEntry {
+    at: u64,
     /// Tie-break among equal deadlines. Zero in normal operation (so
     /// `seq` — registration order — decides); a seeded random draw in
     /// [`Sim::set_tie_shuffle`] mode, which perturbs the firing order of
@@ -80,33 +160,270 @@ struct TimerKey {
     /// not matter.
     tie: u64,
     seq: u64,
-    entry: Rc<TimerEntry>,
+    idx: u32,
 }
 
-impl PartialEq for TimerKey {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.tie == other.tie && self.seq == other.seq
+/// Backlog key: `(at, tie, seq, idx, gen)` — ordered exactly like the
+/// old binary-heap key so merged pops keep the seed tree's firing order.
+type BacklogKey = (u64, u64, u64, u32, u32);
+
+/// What [`TimerWheel::pop`] fired.
+struct Fired {
+    at: u64,
+    #[cfg_attr(not(test), allow(dead_code))]
+    tie: u64,
+    #[cfg_attr(not(test), allow(dead_code))]
+    seq: u64,
+    waker: Option<Waker>,
+}
+
+struct TimerWheel {
+    slab: Vec<TimerSlot>,
+    free: Vec<u32>,
+    /// Wheel cursor: every wheel-resident entry has `at >= elapsed`, and
+    /// `elapsed` never exceeds the minimum pending deadline.
+    elapsed: u64,
+    occ: [u64; LEVELS],
+    buckets: Vec<Vec<WheelEntry>>,
+    backlog: BinaryHeap<Reverse<BacklogKey>>,
+}
+
+impl Default for TimerWheel {
+    fn default() -> Self {
+        TimerWheel {
+            slab: Vec::new(),
+            free: Vec::new(),
+            elapsed: 0,
+            occ: [0; LEVELS],
+            buckets: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            backlog: BinaryHeap::new(),
+        }
     }
 }
-impl Eq for TimerKey {}
-impl PartialOrd for TimerKey {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// The level whose slot granularity separates `at` from `elapsed`: the
+/// highest 6-bit group where they differ (0 when equal).
+#[inline]
+fn level_for(elapsed: u64, at: u64) -> usize {
+    let masked = (elapsed ^ at) | (SLOTS as u64 - 1);
+    ((63 - masked.leading_zeros()) as usize) / LEVEL_BITS
 }
-impl Ord for TimerKey {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.tie, self.seq).cmp(&(other.at, other.tie, other.seq))
+
+impl TimerWheel {
+    fn register(&mut self, at: u64, tie: u64, seq: u64) -> TimerHandle {
+        let idx = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                let i = self.slab.len() as u32;
+                self.slab.push(TimerSlot { gen: 0, loc: Loc::Free, waker: None });
+                i
+            }
+        };
+        let gen = self.slab[idx as usize].gen;
+        if at < self.elapsed {
+            // Behind the cursor (peek cascaded past the clock, then the
+            // clock was truncated): heap it, merge at pop time.
+            self.backlog.push(Reverse((at, tie, seq, idx, gen)));
+            self.slab[idx as usize].loc = Loc::Backlog;
+        } else {
+            self.place(WheelEntry { at, tie, seq, idx });
+        }
+        TimerHandle { idx, gen }
+    }
+
+    /// Inserts a wheel entry at its level/slot and records the location
+    /// in the slab (for eager cancellation).
+    fn place(&mut self, e: WheelEntry) {
+        debug_assert!(e.at >= self.elapsed);
+        let l = level_for(self.elapsed, e.at);
+        let s = ((e.at >> (LEVEL_BITS * l)) & (SLOTS as u64 - 1)) as usize;
+        self.buckets[l * SLOTS + s].push(e);
+        self.occ[l] |= 1u64 << s;
+        self.slab[e.idx as usize].loc = Loc::Wheel { level: l as u8, slot: s as u8 };
+    }
+
+    /// First instant covered by slot `s` of level `l`, relative to the
+    /// cursor's position on the coarser levels.
+    #[inline]
+    fn slot_start(&self, l: usize, s: usize) -> u64 {
+        let high_shift = LEVEL_BITS * (l + 1);
+        let high = if high_shift >= 64 {
+            0
+        } else {
+            (self.elapsed >> high_shift) << high_shift
+        };
+        high | ((s as u64) << (LEVEL_BITS * l))
+    }
+
+    /// Cascades until the minimum pending wheel entry sits in a level-0
+    /// bucket; returns that bucket's index (level-0 buckets hold entries
+    /// of a single deadline). Advances `elapsed` to the minimum pending
+    /// deadline as a side effect. `None` when the wheel is empty.
+    fn settle_min(&mut self) -> Option<usize> {
+        loop {
+            let mut best: Option<(usize, usize, u64)> = None;
+            for l in 0..LEVELS {
+                if self.occ[l] == 0 {
+                    continue;
+                }
+                let cur = ((self.elapsed >> (LEVEL_BITS * l)) & (SLOTS as u64 - 1)) as u32;
+                let masked = self.occ[l] & (!0u64 << cur);
+                debug_assert_ne!(masked, 0, "wheel entry behind cursor at level {l}");
+                let bits = if masked != 0 { masked } else { self.occ[l] };
+                let s = bits.trailing_zeros() as usize;
+                let start = self.slot_start(l, s);
+                let better = match best {
+                    None => true,
+                    // On equal starts prefer the coarser level: its
+                    // entries may tie with the fine bucket and must be
+                    // cascaded down before the minimum can be read.
+                    Some((bl, _, bstart)) => start < bstart || (start == bstart && l > bl),
+                };
+                if better {
+                    best = Some((l, s, start));
+                }
+            }
+            let (l, s, start) = best?;
+            self.elapsed = self.elapsed.max(start);
+            if l == 0 {
+                return Some(s);
+            }
+            // Cascade: with the cursor advanced to the slot start, every
+            // entry here now agrees with `elapsed` on all groups >= l and
+            // re-places at a strictly lower level.
+            self.occ[l] &= !(1u64 << s);
+            let mut moved = std::mem::take(&mut self.buckets[l * SLOTS + s]);
+            for e in moved.drain(..) {
+                debug_assert!(level_for(self.elapsed, e.at) < l);
+                self.place(e);
+            }
+            // Hand the drained allocation back so the bucket keeps its
+            // capacity across cascades.
+            self.buckets[l * SLOTS + s] = moved;
+        }
+    }
+
+    /// Minimum live backlog key, discarding stale (released) entries.
+    fn backlog_peek(&mut self) -> Option<(u64, u64, u64, u32)> {
+        while let Some(&Reverse((at, tie, seq, idx, gen))) = self.backlog.peek() {
+            if self.slab[idx as usize].gen == gen {
+                debug_assert!(matches!(self.slab[idx as usize].loc, Loc::Backlog));
+                return Some((at, tie, seq, idx));
+            }
+            self.backlog.pop();
+        }
+        None
+    }
+
+    /// Earliest pending deadline, or `None`.
+    fn peek(&mut self) -> Option<u64> {
+        let wheel = self.settle_min().map(|s| self.buckets[s][0].at);
+        let backlog = self.backlog_peek().map(|(at, ..)| at);
+        match (wheel, backlog) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Fires the globally minimum `(at, tie, seq)` pending timer.
+    fn pop(&mut self) -> Option<Fired> {
+        let wheel = self.settle_min().map(|s| {
+            let b = &self.buckets[s];
+            let mut mi = 0;
+            for i in 1..b.len() {
+                if (b[i].tie, b[i].seq) < (b[mi].tie, b[mi].seq) {
+                    mi = i;
+                }
+            }
+            (s, mi)
+        });
+        let backlog = self.backlog_peek();
+        match (wheel, backlog) {
+            (None, None) => None,
+            (Some((s, mi)), None) => Some(self.pop_wheel(s, mi)),
+            (None, Some((at, _, _, idx))) => Some(self.pop_backlog(at, idx)),
+            (Some((s, mi)), Some((bat, btie, bseq, bidx))) => {
+                let e = self.buckets[s][mi];
+                if (e.at, e.tie, e.seq) <= (bat, btie, bseq) {
+                    Some(self.pop_wheel(s, mi))
+                } else {
+                    Some(self.pop_backlog(bat, bidx))
+                }
+            }
+        }
+    }
+
+    fn pop_wheel(&mut self, s: usize, mi: usize) -> Fired {
+        let e = self.buckets[s].swap_remove(mi);
+        if self.buckets[s].is_empty() {
+            self.occ[0] &= !(1u64 << s);
+        }
+        self.elapsed = e.at;
+        let slot = &mut self.slab[e.idx as usize];
+        slot.loc = Loc::Fired;
+        Fired { at: e.at, tie: e.tie, seq: e.seq, waker: slot.waker.take() }
+    }
+
+    fn pop_backlog(&mut self, at: u64, idx: u32) -> Fired {
+        let (tie, seq) = match self.backlog.pop() {
+            Some(Reverse((_, tie, seq, _, _))) => (tie, seq),
+            None => (0, 0), // unreachable: caller just peeked it
+        };
+        let slot = &mut self.slab[idx as usize];
+        slot.loc = Loc::Fired;
+        Fired { at, tie, seq, waker: slot.waker.take() }
+    }
+
+    /// True once the timer has fired (the owning `Sleep` may then resolve).
+    fn is_fired(&self, h: TimerHandle) -> bool {
+        let slot = &self.slab[h.idx as usize];
+        slot.gen == h.gen && matches!(slot.loc, Loc::Fired)
+    }
+
+    fn set_waker(&mut self, h: TimerHandle, w: Waker) {
+        let slot = &mut self.slab[h.idx as usize];
+        if slot.gen == h.gen {
+            slot.waker = Some(w);
+        }
+    }
+
+    /// Releases a handle: cancels the timer if still pending (eagerly
+    /// removing wheel entries) and frees the slab slot.
+    fn release(&mut self, h: TimerHandle) {
+        let Some(slot) = self.slab.get_mut(h.idx as usize) else { return };
+        if slot.gen != h.gen {
+            return;
+        }
+        let loc = slot.loc;
+        match loc {
+            Loc::Wheel { level, slot: s } => {
+                let b = &mut self.buckets[level as usize * SLOTS + s as usize];
+                if let Some(pos) = b.iter().position(|e| e.idx == h.idx) {
+                    b.swap_remove(pos);
+                }
+                if b.is_empty() {
+                    self.occ[level as usize] &= !(1u64 << s);
+                }
+            }
+            // Backlog keys are discarded lazily via the gen check.
+            Loc::Backlog | Loc::Fired | Loc::Free => {}
+        }
+        let slot = &mut self.slab[h.idx as usize];
+        slot.gen = slot.gen.wrapping_add(1);
+        slot.loc = Loc::Free;
+        slot.waker = None;
+        self.free.push(h.idx);
     }
 }
 
 struct Core {
     now: Cell<SimTime>,
-    next_task: Cell<TaskId>,
     next_timer_seq: Cell<u64>,
-    timers: RefCell<BinaryHeap<Reverse<TimerKey>>>,
+    timers: RefCell<TimerWheel>,
     ready: Arc<ReadyQueue>,
-    tasks: RefCell<HashMap<TaskId, LocalFuture>>,
+    tasks: RefCell<TaskSlab>,
+    /// Spawned-but-unfinished tasks (futures out being polled included).
+    live_tasks: Cell<usize>,
     polls: Cell<u64>,
     timer_fires: Cell<u64>,
     tie_shuffle: RefCell<Option<SimRng>>,
@@ -147,11 +464,11 @@ impl Sim {
         Sim {
             core: Rc::new(Core {
                 now: Cell::new(SimTime::ZERO),
-                next_task: Cell::new(0),
                 next_timer_seq: Cell::new(0),
-                timers: RefCell::new(BinaryHeap::new()),
+                timers: RefCell::new(TimerWheel::default()),
                 ready: Arc::new(ReadyQueue::default()),
-                tasks: RefCell::new(HashMap::new()),
+                tasks: RefCell::new(TaskSlab::default()),
+                live_tasks: Cell::new(0),
                 polls: Cell::new(0),
                 timer_fires: Cell::new(0),
                 tie_shuffle: RefCell::new(None),
@@ -201,8 +518,6 @@ impl Sim {
     {
         let state = Rc::new(RefCell::new(JoinState { result: None, waker: None }));
         let state2 = Rc::clone(&state);
-        let id = self.core.next_task.get();
-        self.core.next_task.set(id + 1);
         let wrapped: LocalFuture = Box::pin(async move {
             let out = fut.await;
             let mut s = state2.borrow_mut();
@@ -211,7 +526,36 @@ impl Sim {
                 w.wake();
             }
         });
-        self.core.tasks.borrow_mut().insert(id, wrapped);
+        let id = {
+            let mut tasks = self.core.tasks.borrow_mut();
+            match tasks.free.pop() {
+                Some(idx) => {
+                    let gen = tasks.slots[idx as usize].gen;
+                    let id = pack_task(idx, gen);
+                    let slot = &mut tasks.slots[idx as usize];
+                    slot.fut = Some(wrapped);
+                    slot.waker = Waker::from(Arc::new(TaskWaker {
+                        id,
+                        ready: Arc::clone(&self.core.ready),
+                    }));
+                    id
+                }
+                None => {
+                    let idx = tasks.slots.len() as u32;
+                    let id = pack_task(idx, 0);
+                    tasks.slots.push(TaskSlot {
+                        gen: 0,
+                        fut: Some(wrapped),
+                        waker: Waker::from(Arc::new(TaskWaker {
+                            id,
+                            ready: Arc::clone(&self.core.ready),
+                        })),
+                    });
+                    id
+                }
+            }
+        };
+        self.core.live_tasks.set(self.core.live_tasks.get() + 1);
         self.core.ready.push(id);
         JoinHandle { state }
     }
@@ -221,14 +565,14 @@ impl Sim {
         Sleep {
             sim: self.clone(),
             deadline: self.now() + d,
-            entry: None,
+            handle: None,
         }
     }
 
     /// Returns a future that completes at the absolute instant `at`
     /// (immediately if `at` is in the past).
     pub fn sleep_until(&self, at: SimTime) -> Sleep {
-        Sleep { sim: self.clone(), deadline: at, entry: None }
+        Sleep { sim: self.clone(), deadline: at, handle: None }
     }
 
     /// Yields once, letting every currently runnable task proceed before
@@ -237,29 +581,14 @@ impl Sim {
         YieldNow { sim: self.clone(), polled: false }
     }
 
-    fn register_timer(&self, at: SimTime) -> Rc<TimerEntry> {
-        let entry = Rc::new(TimerEntry {
-            fired: Cell::new(false),
-            cancelled: Cell::new(false),
-            waker: RefCell::new(None),
-        });
+    fn register_timer(&self, at: SimTime) -> TimerHandle {
         let seq = self.core.next_timer_seq.get();
         self.core.next_timer_seq.set(seq + 1);
         let tie = match self.core.tie_shuffle.borrow_mut().as_mut() {
             Some(rng) => rng.next_u64(),
             None => 0,
         };
-        self.core.timers.borrow_mut().push(Reverse(TimerKey {
-            at,
-            tie,
-            seq,
-            entry: Rc::clone(&entry),
-        }));
-        entry
-    }
-
-    fn make_waker(&self, id: TaskId) -> Waker {
-        Waker::from(Arc::new(TaskWaker { id, ready: Arc::clone(&self.core.ready) }))
+        self.core.timers.borrow_mut().register(at.as_nanos(), tie, seq)
     }
 
     /// Polls every runnable task until none is runnable at the current
@@ -267,18 +596,39 @@ impl Sim {
     fn drain_ready(&self) -> u64 {
         let mut polls = 0;
         while let Some(id) = self.core.ready.pop() {
-            // Remove the future from the map while polling so the map is
-            // free for re-entrant spawns.
-            let fut = self.core.tasks.borrow_mut().remove(&id);
-            let Some(mut fut) = fut else {
-                continue; // completed task woken again: spurious, ignore
+            let (idx, gen) = unpack_task(id);
+            // Take the future out of its slot while polling so the slab
+            // is free for re-entrant spawns; clone the cached waker (an
+            // Arc refcount bump, not an allocation).
+            let (mut fut, waker) = {
+                let mut tasks = self.core.tasks.borrow_mut();
+                let Some(slot) = tasks.slots.get_mut(idx as usize) else {
+                    continue;
+                };
+                if slot.gen != gen {
+                    continue; // completed task woken again: spurious, ignore
+                }
+                let Some(fut) = slot.fut.take() else {
+                    continue; // woken while already being polled
+                };
+                (fut, slot.waker.clone())
             };
-            let waker = self.make_waker(id);
             let mut cx = Context::from_waker(&waker);
             polls += 1;
             self.core.polls.set(self.core.polls.get() + 1);
             if fut.as_mut().poll(&mut cx).is_pending() {
-                self.core.tasks.borrow_mut().insert(id, fut);
+                let mut tasks = self.core.tasks.borrow_mut();
+                tasks.slots[idx as usize].fut = Some(fut);
+            } else {
+                {
+                    let mut tasks = self.core.tasks.borrow_mut();
+                    let slot = &mut tasks.slots[idx as usize];
+                    slot.gen = slot.gen.wrapping_add(1);
+                    tasks.free.push(idx);
+                }
+                self.core.live_tasks.set(self.core.live_tasks.get() - 1);
+                // `fut` drops here, after the slab borrow is released:
+                // destructors (e.g. `Sleep::drop`) may re-enter the core.
             }
         }
         polls
@@ -287,34 +637,21 @@ impl Sim {
     /// Fires the earliest pending timer, advancing the clock to it.
     /// Returns false when no live timer remains.
     fn fire_next_timer(&self) -> bool {
-        loop {
-            let popped = self.core.timers.borrow_mut().pop();
-            let Some(Reverse(key)) = popped else { return false };
-            if key.entry.cancelled.get() {
-                continue; // dropped Sleep; skip without advancing time
-            }
-            debug_assert!(key.at >= self.core.now.get(), "time went backwards");
-            self.core.now.set(key.at);
-            self.core.timer_fires.set(self.core.timer_fires.get() + 1);
-            key.entry.fired.set(true);
-            if let Some(w) = key.entry.waker.borrow_mut().take() {
-                w.wake();
-            }
-            return true;
+        let fired = self.core.timers.borrow_mut().pop();
+        let Some(f) = fired else { return false };
+        let at = SimTime::from_nanos(f.at);
+        debug_assert!(at >= self.core.now.get(), "time went backwards");
+        self.core.now.set(at);
+        self.core.timer_fires.set(self.core.timer_fires.get() + 1);
+        if let Some(w) = f.waker {
+            w.wake();
         }
+        true
     }
 
     /// Peeks at the deadline of the earliest live timer.
     fn next_deadline(&self) -> Option<SimTime> {
-        let mut timers = self.core.timers.borrow_mut();
-        while let Some(Reverse(key)) = timers.peek() {
-            if key.entry.cancelled.get() {
-                timers.pop();
-            } else {
-                return Some(key.at);
-            }
-        }
-        None
+        self.core.timers.borrow_mut().peek().map(SimTime::from_nanos)
     }
 
     /// Runs until no task is runnable and no timer is pending
@@ -370,7 +707,7 @@ impl Sim {
                     "simulation quiescent at {} with awaited task incomplete \
                      ({} tasks leaked)",
                     self.now(),
-                    self.core.tasks.borrow().len()
+                    self.core.live_tasks.get()
                 );
             }
         }
@@ -381,7 +718,7 @@ impl Sim {
             end: self.now(),
             polls: self.core.polls.get(),
             timer_fires: self.core.timer_fires.get(),
-            pending_tasks: self.core.tasks.borrow().len(),
+            pending_tasks: self.core.live_tasks.get(),
         }
     }
 }
@@ -428,7 +765,7 @@ impl<T> Future for JoinHandle<T> {
 pub struct Sleep {
     sim: Sim,
     deadline: SimTime,
-    entry: Option<Rc<TimerEntry>>,
+    handle: Option<TimerHandle>,
 }
 
 impl Future for Sleep {
@@ -437,18 +774,19 @@ impl Future for Sleep {
         if self.deadline <= self.sim.now() {
             return Poll::Ready(());
         }
-        match &self.entry {
+        match self.handle {
             None => {
-                let entry = self.sim.register_timer(self.deadline);
-                *entry.waker.borrow_mut() = Some(cx.waker().clone());
-                self.entry = Some(entry);
+                let h = self.sim.register_timer(self.deadline);
+                self.sim.core.timers.borrow_mut().set_waker(h, cx.waker().clone());
+                self.handle = Some(h);
                 Poll::Pending
             }
-            Some(entry) => {
-                if entry.fired.get() {
+            Some(h) => {
+                let mut timers = self.sim.core.timers.borrow_mut();
+                if timers.is_fired(h) {
                     Poll::Ready(())
                 } else {
-                    *entry.waker.borrow_mut() = Some(cx.waker().clone());
+                    timers.set_waker(h, cx.waker().clone());
                     Poll::Pending
                 }
             }
@@ -458,13 +796,11 @@ impl Future for Sleep {
 
 impl Drop for Sleep {
     fn drop(&mut self) {
-        // Lazily cancel so an abandoned sleep (e.g. the losing arm of a
-        // select) neither fires a stale waker nor advances the clock.
-        if let Some(entry) = &self.entry {
-            if !entry.fired.get() {
-                entry.cancelled.set(true);
-                entry.waker.borrow_mut().take();
-            }
+        // Eagerly cancel so an abandoned sleep (e.g. the losing arm of a
+        // select) neither fires a stale waker nor advances the clock —
+        // and its wheel entry is removed rather than left as a tombstone.
+        if let Some(h) = self.handle.take() {
+            self.sim.core.timers.borrow_mut().release(h);
         }
     }
 }
@@ -791,5 +1127,175 @@ mod tests {
         sim.run();
         // Distinct deadlines: the shuffle never reorders across time.
         assert_eq!(acc.borrow().clone(), (0..10u64).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn short_sleep_after_truncated_run_lands_behind_cursor() {
+        // run_until peeks the far timer (cascading the wheel cursor up to
+        // its deadline), then truncates the clock below the cursor. The
+        // short sleep registered afterwards must take the backlog path
+        // and still fire first, in order.
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(secs(1000.0)).await;
+        });
+        sim.run_until(SimTime::from_secs(5));
+        let log: Rc<StdRefCell<Vec<&str>>> = Rc::default();
+        for (name, d) in [("near", 1.0), ("nearer", 0.5)] {
+            let s = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                s.sleep(secs(d)).await;
+                log.borrow_mut().push(name);
+            });
+        }
+        let r = sim.run();
+        assert_eq!(log.borrow().as_slice(), &["nearer", "near"]);
+        assert_eq!(r.end, SimTime::from_secs(1000));
+    }
+
+    #[test]
+    fn task_slot_reuse_ignores_stale_wakes() {
+        // Complete a task, then spawn enough new ones to recycle its
+        // slot; a stale waker for the finished task must not poll the
+        // newcomer (generation mismatch).
+        let sim = Sim::new();
+        let h = sim.spawn(async {});
+        sim.run();
+        assert!(h.is_finished());
+        let s = sim.clone();
+        let h2 = sim.spawn(async move {
+            s.sleep(secs(1.0)).await;
+            11u32
+        });
+        // Stale id: index 0, generation 0 (the finished task).
+        sim.core.ready.push(pack_task(0, 0));
+        assert_eq!(sim.block_on(h2), 11);
+    }
+
+    // -----------------------------------------------------------------
+    // Property test: the wheel fires in exactly the order a binary-heap
+    // reference does, under random insert/cancel/pop/peek scripts.
+    // -----------------------------------------------------------------
+
+    /// The old timer store, reduced to its essence: a min-heap of
+    /// `(at, tie, seq)` with lazy cancellation.
+    #[derive(Default)]
+    struct HeapRef {
+        heap: BinaryHeap<Reverse<(u64, u64, u64)>>,
+        cancelled: std::collections::HashSet<u64>,
+    }
+
+    impl HeapRef {
+        fn insert(&mut self, at: u64, tie: u64, seq: u64) {
+            self.heap.push(Reverse((at, tie, seq)));
+        }
+        fn cancel(&mut self, seq: u64) {
+            self.cancelled.insert(seq);
+        }
+        fn peek(&mut self) -> Option<u64> {
+            while let Some(&Reverse((at, _, seq))) = self.heap.peek() {
+                if self.cancelled.contains(&seq) {
+                    self.heap.pop();
+                } else {
+                    return Some(at);
+                }
+            }
+            None
+        }
+        fn pop(&mut self) -> Option<(u64, u64, u64)> {
+            while let Some(Reverse((at, tie, seq))) = self.heap.pop() {
+                if !self.cancelled.contains(&seq) {
+                    return Some((at, tie, seq));
+                }
+            }
+            None
+        }
+    }
+
+    fn wheel_matches_heap_script(seed: u64, shuffled_ties: bool) {
+        let mut rng = SimRng::from_seed(seed);
+        let mut wheel = TimerWheel::default();
+        let mut reference = HeapRef::default();
+        // seq -> handle, for cancels and post-pop release.
+        let mut live: Vec<(u64, TimerHandle)> = Vec::new();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for _ in 0..4000 {
+            match rng.next_u64() % 100 {
+                0..=54 => {
+                    // Insert with deltas spread across every wheel level.
+                    let span = rng.next_u64() % 38;
+                    let delta = 1 + (rng.next_u64() % (1u64 << span));
+                    let at = now.saturating_add(delta);
+                    let tie = if shuffled_ties { rng.next_u64() } else { 0 };
+                    let h = wheel.register(at, tie, seq);
+                    reference.insert(at, tie, seq);
+                    live.push((seq, h));
+                    seq += 1;
+                }
+                55..=69 => {
+                    if !live.is_empty() {
+                        let i = (rng.next_u64() % live.len() as u64) as usize;
+                        let (s, h) = live.swap_remove(i);
+                        wheel.release(h);
+                        reference.cancel(s);
+                    }
+                }
+                70..=89 => {
+                    let got = wheel.pop().map(|f| (f.at, f.tie, f.seq));
+                    let want = reference.pop();
+                    assert_eq!(got, want, "pop diverged (seed {seed})");
+                    if let Some((_, _, s)) = got {
+                        now = got.map(|(at, ..)| at).unwrap_or(now);
+                        if let Some(i) = live.iter().position(|&(ls, _)| ls == s) {
+                            let (_, h) = live.swap_remove(i);
+                            wheel.release(h); // the Sleep dropping post-fire
+                        }
+                    }
+                }
+                _ => {
+                    assert_eq!(wheel.peek(), reference.peek(), "peek diverged (seed {seed})");
+                }
+            }
+        }
+        // Drain what's left: order must match to the end.
+        loop {
+            let got = wheel.pop().map(|f| (f.at, f.tie, f.seq));
+            let want = reference.pop();
+            assert_eq!(got, want, "drain diverged (seed {seed})");
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn wheel_pops_in_heap_order_fifo_ties() {
+        for seed in [1u64, 2, 3, 42, 2026] {
+            wheel_matches_heap_script(seed, false);
+        }
+    }
+
+    #[test]
+    fn wheel_pops_in_heap_order_shuffled_ties() {
+        for seed in [5u64, 6, 7, 99, 517] {
+            wheel_matches_heap_script(seed, true);
+        }
+    }
+
+    #[test]
+    fn wheel_handles_extreme_deadlines() {
+        let mut wheel = TimerWheel::default();
+        let far = wheel.register(u64::MAX, 0, 0);
+        let near = wheel.register(1, 0, 1);
+        assert_eq!(wheel.peek(), Some(1));
+        let f = wheel.pop().map(|f| f.at);
+        assert_eq!(f, Some(1));
+        wheel.release(near);
+        assert_eq!(wheel.pop().map(|f| f.at), Some(u64::MAX));
+        wheel.release(far);
+        assert_eq!(wheel.pop().map(|f| f.at), None);
     }
 }

@@ -40,6 +40,7 @@ pub mod channel;
 pub mod combinators;
 pub mod dist;
 pub mod executor;
+pub mod intern;
 pub mod metrics;
 pub mod rng;
 pub mod sync;
@@ -50,6 +51,7 @@ pub use combinators::{join_all, select2, Barrier, Either, Elapsed, Interval};
 pub use channel::{bounded, channel, oneshot, OneshotReceiver, OneshotSender, Receiver, Sender};
 pub use dist::Dist;
 pub use executor::{JoinHandle, RunReport, Sim};
+pub use intern::Symbol;
 pub use metrics::{Gauge, Samples, TimeSeries};
 pub use rng::SimRng;
 pub use sync::{Event, Permit, Semaphore};

@@ -81,15 +81,27 @@ impl Samples {
     /// use this instead of repeated [`quantile`](Samples::quantile)
     /// calls when printing percentile error bars. Each `q` is clamped
     /// to `[0, 1]`; all results are 0 when empty.
+    ///
+    /// A NaN `q` is a caller bug (reliability hedging derives its cut
+    /// points from config arithmetic): it trips a debug assertion, and
+    /// in release builds falls back to the median rather than silently
+    /// returning the minimum (NaN survives `clamp` and floors to index
+    /// 0). Samples themselves are guaranteed finite by
+    /// [`record`](Samples::record).
     pub fn quantiles(&self, qs: &[f64]) -> Vec<f64> {
         if self.values.is_empty() {
             return vec![0.0; qs.len()];
         }
         let mut sorted = self.values.clone();
         sorted.sort_by(f64::total_cmp);
+        debug_assert!(
+            sorted[0].is_finite() && sorted[sorted.len() - 1].is_finite(),
+            "non-finite sample slipped past record()"
+        );
         qs.iter()
             .map(|q| {
-                let q = q.clamp(0.0, 1.0);
+                debug_assert!(!q.is_nan(), "quantile q must be a number");
+                let q = if q.is_nan() { 0.5 } else { q.clamp(0.0, 1.0) };
                 let pos = q * (sorted.len() - 1) as f64;
                 let lo = pos.floor() as usize;
                 let hi = pos.ceil() as usize;
@@ -341,6 +353,47 @@ mod tests {
             assert_eq!(b, s.quantile(q), "q={q}");
         }
         assert_eq!(Samples::new().quantiles(&qs), vec![0.0; qs.len()]);
+    }
+
+    #[test]
+    fn quantiles_edge_cases() {
+        // Empty: every q, even out-of-range ones, yields 0.
+        assert_eq!(Samples::new().quantiles(&[0.0, 0.5, 1.0, -3.0, 7.0]), vec![0.0; 5]);
+        // Single sample: every q collapses to it.
+        let mut one = Samples::new();
+        one.record(42.0);
+        assert_eq!(one.quantiles(&[0.0, 0.3, 1.0]), vec![42.0; 3]);
+        // q = 1.0 exactly hits the max without indexing past the end.
+        let mut s = Samples::new();
+        for v in [3.0, 1.0, 2.0] {
+            s.record(v);
+        }
+        assert_eq!(s.quantile(1.0), 3.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_clamp_out_of_range_q() {
+        let mut s = Samples::new();
+        for v in [5.0, 10.0, 15.0] {
+            s.record(v);
+        }
+        assert_eq!(s.quantile(-0.5), 5.0, "q < 0 clamps to the min");
+        assert_eq!(s.quantile(1.5), 15.0, "q > 1 clamps to the max");
+        assert_eq!(s.quantile(f64::NEG_INFINITY), 5.0);
+        assert_eq!(s.quantile(f64::INFINITY), 15.0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "quantile q must be a number"))]
+    fn quantiles_reject_nan_q() {
+        let mut s = Samples::new();
+        for v in [1.0, 2.0, 3.0] {
+            s.record(v);
+        }
+        // Debug builds assert; release builds fall back to the median
+        // instead of silently returning the minimum.
+        assert_eq!(s.quantile(f64::NAN), 2.0);
     }
 
     #[test]

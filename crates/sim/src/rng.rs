@@ -61,9 +61,13 @@ impl SimRng {
     /// Derives the stream named `name` from `master` deterministically.
     ///
     /// Distinct names yield statistically independent streams; the same
-    /// `(master, name)` pair always yields the same stream.
-    pub fn stream(master: u64, name: &str) -> Self {
-        let seed = splitmix64(master ^ fnv1a(name.as_bytes()));
+    /// `(master, name)` pair always yields the same stream. `name` takes
+    /// anything convertible to a [`Symbol`](crate::Symbol) — the seed is
+    /// hashed from the *resolved bytes*, so a pre-interned symbol and the
+    /// string it was interned from derive the identical stream.
+    pub fn stream(master: u64, name: impl Into<crate::intern::Symbol>) -> Self {
+        let name = name.into();
+        let seed = splitmix64(master ^ fnv1a(name.as_str().as_bytes()));
         SimRng::from_seed(seed)
     }
 

@@ -2,10 +2,16 @@
 //!
 //! Actors append [`TraceEvent`]s to a shared [`Tracer`]; figure harnesses
 //! replay the trace to compute utilization series and latency breakdowns.
-//! Tracing is optional and cheap: a disabled tracer drops events.
+//! Tracing is optional and cheap: a disabled tracer drops events, and an
+//! enabled one allocates nothing per event — actors are interned
+//! [`Symbol`]s and the determinism digest is folded *as events stream
+//! through*, so retaining the event log is opt-in rather than the price
+//! of reproducibility checking.
 
+use crate::intern::Symbol;
 use crate::time::SimTime;
-use std::cell::RefCell;
+use std::cell::{RefCell, RefMut};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// Canonical event kinds emitted by the fabrics and the steering layer.
@@ -74,12 +80,15 @@ pub mod kinds {
 }
 
 /// One trace record: what happened, where, when, and to which entity.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// `Copy`: the actor is an interned [`Symbol`], so events move by value
+/// with no heap traffic.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TraceEvent {
     /// When the event occurred.
     pub t: SimTime,
     /// The emitting component, e.g. `"worker/theta/3"`.
-    pub actor: String,
+    pub actor: Symbol,
     /// Event kind, e.g. `"task_started"`.
     pub kind: &'static str,
     /// Entity id the event concerns (task id, transfer id, …).
@@ -88,10 +97,69 @@ pub struct TraceEvent {
     pub value: f64,
 }
 
-#[derive(Default)]
+/// What an enabled tracer keeps in memory, beyond the streaming digest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Retain {
+    /// Nothing — digest and count only. The fast path for perf runs
+    /// and digest-invariance sweeps.
+    Nothing,
+    /// The most recent `n` events, for tests that inspect the tail of
+    /// a long run without paying for the whole log.
+    Ring(usize),
+    /// Every event, for figure harnesses that replay the full trace.
+    All,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
 struct TracerState {
-    events: Vec<TraceEvent>,
+    events: VecDeque<TraceEvent>,
     enabled: bool,
+    retain: Retain,
+    /// FNV-1a fold over every event ever emitted, updated at emit time.
+    digest: u64,
+    /// Events ever emitted (ring eviction does not decrement).
+    emitted: usize,
+}
+
+impl Default for TracerState {
+    fn default() -> Self {
+        TracerState {
+            events: VecDeque::new(),
+            enabled: false,
+            retain: Retain::All,
+            digest: FNV_OFFSET,
+            emitted: 0,
+        }
+    }
+}
+
+impl TracerState {
+    #[inline]
+    fn fold_bytes(&mut self, bytes: &[u8]) {
+        let mut h = self.digest;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.digest = h;
+    }
+
+    /// Folds one event into the digest. The byte recipe — time, actor
+    /// bytes, 0xff, kind bytes, 0xff, entity, value bits — is pinned by
+    /// the determinism suite and must never change: it is what makes
+    /// digests comparable across kernel rewrites.
+    #[inline]
+    fn fold_event(&mut self, e: &TraceEvent) {
+        self.fold_bytes(&e.t.as_nanos().to_le_bytes());
+        self.fold_bytes(e.actor.as_str().as_bytes());
+        self.fold_bytes(&[0xff]); // field separator: actor is variable-length
+        self.fold_bytes(e.kind.as_bytes());
+        self.fold_bytes(&[0xff]);
+        self.fold_bytes(&e.entity.to_le_bytes());
+        self.fold_bytes(&e.value.to_bits().to_le_bytes());
+    }
 }
 
 /// Shared, clonable event sink.
@@ -101,10 +169,44 @@ pub struct Tracer {
 }
 
 impl Tracer {
-    /// Creates a tracer that records events.
+    /// Creates a tracer that records every event (and streams the
+    /// digest).
     pub fn enabled() -> Self {
         let t = Tracer::default();
-        t.state.borrow_mut().enabled = true;
+        {
+            let mut s = t.state.borrow_mut();
+            s.enabled = true;
+            s.retain = Retain::All;
+        }
+        t
+    }
+
+    /// Creates a tracer that folds the determinism digest but retains
+    /// no events: [`Tracer::digest`] and [`Tracer::len`] work,
+    /// [`Tracer::events`] stays empty. Constant memory regardless of
+    /// run length — the right mode for perf baselines and digest
+    /// sweeps.
+    pub fn digest_only() -> Self {
+        let t = Tracer::default();
+        {
+            let mut s = t.state.borrow_mut();
+            s.enabled = true;
+            s.retain = Retain::Nothing;
+        }
+        t
+    }
+
+    /// Creates a tracer that keeps only the most recent `capacity`
+    /// events (the digest still covers all of them). For tests that
+    /// assert on the tail of a long run.
+    pub fn with_ring(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be >= 1");
+        let t = Tracer::default();
+        {
+            let mut s = t.state.borrow_mut();
+            s.enabled = true;
+            s.retain = Retain::Ring(capacity);
+        }
         t
     }
 
@@ -119,16 +221,40 @@ impl Tracer {
     }
 
     /// Records an event (no-op when disabled).
-    pub fn emit(&self, t: SimTime, actor: &str, kind: &'static str, entity: u64, value: f64) {
+    ///
+    /// `actor` takes anything convertible to a [`Symbol`]; hot paths
+    /// pass a pre-interned `Symbol` (zero work), occasional emitters
+    /// can still pass `&str`.
+    pub fn emit(
+        &self,
+        t: SimTime,
+        actor: impl Into<Symbol>,
+        kind: &'static str,
+        entity: u64,
+        value: f64,
+    ) {
         let mut s = self.state.borrow_mut();
-        if s.enabled {
-            s.events.push(TraceEvent { t, actor: actor.to_owned(), kind, entity, value });
+        if !s.enabled {
+            return;
+        }
+        let e = TraceEvent { t, actor: actor.into(), kind, entity, value };
+        s.fold_event(&e);
+        s.emitted += 1;
+        match s.retain {
+            Retain::Nothing => {}
+            Retain::Ring(cap) => {
+                if s.events.len() == cap {
+                    s.events.pop_front();
+                }
+                s.events.push_back(e);
+            }
+            Retain::All => s.events.push_back(e),
         }
     }
 
-    /// Number of recorded events.
+    /// Number of events ever emitted (ring eviction does not lower it).
     pub fn len(&self) -> usize {
-        self.state.borrow().events.len()
+        self.state.borrow().emitted
     }
 
     /// True when nothing has been recorded.
@@ -136,25 +262,34 @@ impl Tracer {
         self.len() == 0
     }
 
-    /// Snapshot of all events in emission order.
-    pub fn events(&self) -> Vec<TraceEvent> {
-        self.state.borrow().events.clone()
+    /// Borrowed view of the retained events in emission order.
+    ///
+    /// This borrows the tracer's buffer instead of cloning it — do not
+    /// hold the guard across an `emit` (same rule as any `RefCell`
+    /// borrow). In ring mode this is the retained tail; in digest-only
+    /// mode it is empty.
+    pub fn events(&self) -> RefMut<'_, [TraceEvent]> {
+        RefMut::map(self.state.borrow_mut(), |s| s.events.make_contiguous())
     }
 
-    /// Snapshot filtered by event kind.
+    /// Snapshot filtered by event kind. Events are `Copy`, so this
+    /// allocates one `Vec` of plain values and nothing per event.
     pub fn events_of_kind(&self, kind: &str) -> Vec<TraceEvent> {
         self.state
             .borrow()
             .events
             .iter()
             .filter(|e| e.kind == kind)
-            .cloned()
+            .copied()
             .collect()
     }
 
-    /// Clears the recorded events.
+    /// Clears the recorded events and restarts the digest fold.
     pub fn clear(&self) {
-        self.state.borrow_mut().events.clear();
+        let mut s = self.state.borrow_mut();
+        s.events.clear();
+        s.digest = FNV_OFFSET;
+        s.emitted = 0;
     }
 
     /// FNV-1a digest of the full event stream, in emission order.
@@ -162,25 +297,11 @@ impl Tracer {
     /// Folds every field of every event — time, actor, kind, entity,
     /// and the payload's exact bit pattern — so two traces share a
     /// digest only if they are bit-identical. This is the quantity the
-    /// determinism regression suite compares across same-seed runs.
+    /// determinism regression suite compares across same-seed runs. The
+    /// fold happens at emit time, so the digest covers every event ever
+    /// emitted even in ring or digest-only mode.
     pub fn digest(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut fold = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x100_0000_01b3);
-            }
-        };
-        for e in self.state.borrow().events.iter() {
-            fold(&e.t.as_nanos().to_le_bytes());
-            fold(e.actor.as_bytes());
-            fold(&[0xff]); // field separator: actor is variable-length
-            fold(e.kind.as_bytes());
-            fold(&[0xff]);
-            fold(&e.entity.to_le_bytes());
-            fold(&e.value.to_bits().to_le_bytes());
-        }
-        h
+        self.state.borrow().digest
     }
 }
 
@@ -205,6 +326,15 @@ mod tests {
         assert_eq!(ev.len(), 2);
         assert_eq!(ev[0].kind, "start");
         assert_eq!(ev[1].value, 5.0);
+    }
+
+    #[test]
+    fn events_returns_a_borrow_not_a_copy() {
+        let t = Tracer::enabled();
+        t.emit(SimTime::ZERO, "a", "x", 1, 0.0);
+        let first = t.events().as_ptr();
+        let second = t.events().as_ptr();
+        assert_eq!(first, second, "same underlying buffer, no clone");
     }
 
     #[test]
@@ -239,6 +369,63 @@ mod tests {
     }
 
     #[test]
+    fn streaming_digest_matches_retained_fold() {
+        // The streaming fold must agree with the reference definition:
+        // an explicit FNV-1a pass over the retained events.
+        let t = Tracer::enabled();
+        t.emit(SimTime::from_secs(1), "w/1", "start", 7, 0.25);
+        t.emit(SimTime::from_millis(1500), "w/2", "stop", 7, -1.5);
+        t.emit(SimTime::from_secs(2), "thinker", "start", 8, 0.0);
+        let mut h: u64 = FNV_OFFSET;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for e in t.events().iter() {
+            fold(&e.t.as_nanos().to_le_bytes());
+            fold(e.actor.as_str().as_bytes());
+            fold(&[0xff]);
+            fold(e.kind.as_bytes());
+            fold(&[0xff]);
+            fold(&e.entity.to_le_bytes());
+            fold(&e.value.to_bits().to_le_bytes());
+        }
+        assert_eq!(t.digest(), h);
+    }
+
+    #[test]
+    fn digest_only_mode_retains_nothing_but_digests_everything() {
+        let full = Tracer::enabled();
+        let lean = Tracer::digest_only();
+        for i in 0..50u64 {
+            full.emit(SimTime::from_millis(i), "w", "start", i, 0.1);
+            lean.emit(SimTime::from_millis(i), "w", "start", i, 0.1);
+        }
+        assert_eq!(lean.digest(), full.digest());
+        assert_eq!(lean.len(), 50);
+        assert!(lean.events().is_empty(), "digest-only retains no events");
+    }
+
+    #[test]
+    fn ring_mode_keeps_the_tail_and_the_full_digest() {
+        let full = Tracer::enabled();
+        let ring = Tracer::with_ring(4);
+        for i in 0..10u64 {
+            full.emit(SimTime::from_millis(i), "w", "start", i, 0.0);
+            ring.emit(SimTime::from_millis(i), "w", "start", i, 0.0);
+        }
+        assert_eq!(ring.len(), 10, "len counts everything emitted");
+        let tail = ring.events();
+        assert_eq!(tail.len(), 4);
+        assert_eq!(tail[0].entity, 6, "oldest retained is n-4");
+        assert_eq!(tail[3].entity, 9);
+        drop(tail);
+        assert_eq!(ring.digest(), full.digest(), "digest covers evicted events");
+    }
+
+    #[test]
     fn kind_registry_is_unique_and_well_formed() {
         for (i, a) in kinds::ALL.iter().enumerate() {
             assert!(!a.is_empty());
@@ -250,6 +437,15 @@ mod tests {
                 assert_ne!(a, b, "duplicate registered kind");
             }
         }
+    }
+
+    #[test]
+    fn clear_resets_digest_and_count() {
+        let t = Tracer::enabled();
+        t.emit(SimTime::ZERO, "a", "x", 1, 0.0);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.digest(), Tracer::enabled().digest(), "digest restarts");
     }
 
     #[test]

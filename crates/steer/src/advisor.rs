@@ -69,7 +69,7 @@ impl Advisor {
     ) -> Vec<Recommendation> {
         let mut by_topic: BTreeMap<&str, Vec<&TaskRecord>> = BTreeMap::new();
         for r in records {
-            by_topic.entry(&r.topic).or_default().push(r);
+            by_topic.entry(r.topic.as_str()).or_default().push(r);
         }
         by_topic
             .into_iter()

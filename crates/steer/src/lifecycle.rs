@@ -7,7 +7,7 @@
 
 use hetflow_fabric::{TaskOutcome, TaskTiming, WorkerReport};
 use hetflow_store::SiteId;
-use hetflow_sim::Samples;
+use hetflow_sim::{Samples, Symbol};
 use std::collections::BTreeSet;
 use std::time::Duration;
 
@@ -17,7 +17,7 @@ pub struct TaskRecord {
     /// Task id.
     pub id: u64,
     /// Task topic.
-    pub topic: String,
+    pub topic: Symbol,
     /// Life-cycle stamps.
     pub timing: TaskTiming,
     /// Worker-side observations.
@@ -33,7 +33,7 @@ pub struct TaskRecord {
     /// Site that executed the task.
     pub site: SiteId,
     /// Worker label.
-    pub worker: String,
+    pub worker: Symbol,
     /// How the task ended — failed tasks are records too, so the
     /// steering loop can observe and react to them.
     pub outcome: TaskOutcome,
@@ -203,7 +203,7 @@ mod tests {
         t.result_ready = Some(SimTime::from_secs(start) + Duration::from_millis(1290));
         TaskRecord {
             id: start,
-            topic: topic.to_owned(),
+            topic: topic.into(),
             timing: t,
             report: WorkerReport {
                 resolve_wait: Duration::from_millis(15),

@@ -16,7 +16,7 @@ use hetflow_fabric::{
     Arg, Fabric, SerModel, TaskError, TaskFn, TaskId, TaskOutcome, TaskResult, TaskSpec,
 };
 use hetflow_store::{ProxyPolicy, SiteId, UntypedProxy};
-use hetflow_sim::{channel, trace_kinds as kinds, Dist, Receiver, Sender, Sim, SimRng, Tracer};
+use hetflow_sim::{channel, trace_kinds as kinds, Dist, Receiver, Sender, Sim, SimRng, Symbol, Tracer};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -92,7 +92,7 @@ struct Shared {
     rng: RefCell<SimRng>,
     next_id: Cell<TaskId>,
     submit_tx: Sender<TaskSpec>,
-    topic_rx: BTreeMap<String, Receiver<TaskResult>>,
+    topic_rx: BTreeMap<Symbol, Receiver<TaskResult>>,
     records: RefCell<Vec<TaskRecord>>,
     tracer: Tracer,
     outstanding: Cell<i64>,
@@ -213,7 +213,7 @@ impl ClientQueues {
         let shared = &self.shared;
         let rx = shared
             .topic_rx
-            .get(topic)
+            .get(&Symbol::intern(topic))
             // hetlint: allow(r5) — unregistered topic is a deployment wiring bug, not a runtime fault
             .unwrap_or_else(|| panic!("topic {topic} was not registered"));
         let mut result = rx.recv().await?;
@@ -286,7 +286,7 @@ impl CompletedTask {
 
     /// Task topic.
     pub fn topic(&self) -> &str {
-        &self.inner().topic
+        self.inner().topic.as_str()
     }
 
     /// Life-cycle stamps so far.
@@ -330,7 +330,7 @@ impl CompletedTask {
         result.timing.result_ready = Some(sim.now());
         let record = TaskRecord {
             id: result.id,
-            topic: result.topic.clone(),
+            topic: result.topic,
             timing: result.timing,
             report: result.report,
             input_bytes: result.input_bytes,
@@ -338,7 +338,7 @@ impl CompletedTask {
             thinker_data_wait: data_wait,
             data_was_local: was_local,
             site: result.site,
-            worker: result.worker.clone(),
+            worker: result.worker,
             outcome: result.outcome.clone(),
         };
         queues.push_record(record.clone());
@@ -393,12 +393,12 @@ impl TaskServer {
         tracer: Tracer,
     ) -> ClientQueues {
         let (submit_tx, submit_rx) = channel::<TaskSpec>();
-        let mut topic_tx: BTreeMap<String, Sender<TaskResult>> = BTreeMap::new();
-        let mut topic_rx: BTreeMap<String, Receiver<TaskResult>> = BTreeMap::new();
+        let mut topic_tx: BTreeMap<Symbol, Sender<TaskResult>> = BTreeMap::new();
+        let mut topic_rx: BTreeMap<Symbol, Receiver<TaskResult>> = BTreeMap::new();
         for &topic in topics {
             let (tx, rx) = channel::<TaskResult>();
-            topic_tx.insert(topic.to_owned(), tx);
-            topic_rx.insert(topic.to_owned(), rx);
+            topic_tx.insert(Symbol::intern(topic), tx);
+            topic_rx.insert(Symbol::intern(topic), rx);
         }
 
         let shared = Rc::new(Shared {
@@ -441,7 +441,7 @@ impl TaskServer {
                 // The modeled Redis result queue is FIFO per topic: a
                 // result must not overtake one enqueued earlier, so each
                 // topic's delivery times are monotone.
-                let mut last_delivery: BTreeMap<String, hetflow_sim::SimTime> = BTreeMap::new();
+                let mut last_delivery: BTreeMap<Symbol, hetflow_sim::SimTime> = BTreeMap::new();
                 while let Some(mut result) = fabric_results.recv().await {
                     // Server-side deserialize + serialize pass — charged
                     // to the serialization bin like the submit path.
@@ -462,7 +462,7 @@ impl TaskServer {
                     if let Some(&last) = last_delivery.get(&result.topic) {
                         deliver_at = deliver_at.max(last);
                     }
-                    last_delivery.insert(result.topic.clone(), deliver_at);
+                    last_delivery.insert(result.topic, deliver_at);
                     let tx = tx.clone();
                     let sim3 = sim2.clone();
                     sim2.spawn(async move {

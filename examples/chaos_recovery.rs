@@ -233,10 +233,10 @@ fn breaker_failover_recovery() {
 
     let records = deployment.queues.records();
     let on_standby =
-        records.iter().filter(|r| r.worker.starts_with("theta-f0")).count();
+        records.iter().filter(|r| r.worker.as_str().starts_with("theta-f0")).count();
     let back_on_primary = records
         .iter()
-        .filter(|r| r.topic == "simulate" && r.worker.starts_with("theta/"))
+        .filter(|r| r.topic == "simulate" && r.worker.as_str().starts_with("theta/"))
         .filter(|r| r.timing.worker_started.is_some_and(|t| t > SimTime::from_secs(300)))
         .count();
     println!("\ncompleted            : {ok}/{TASKS}");

@@ -381,7 +381,7 @@ fn site_loss_mid_campaign_fails_over_and_keeps_working() {
         .count();
     assert!(post_kill_sims > 0, "failover must keep simulate throughput nonzero");
     assert!(
-        records.iter().any(|r| r.worker.starts_with("theta-f0")),
+        records.iter().any(|r| r.worker.as_str().starts_with("theta-f0")),
         "the standby pool must actually execute work"
     );
     assert!(d.health.breaker_open(0), "the breaker stays open: the site never recovers");
