@@ -13,12 +13,10 @@
 //!   the one sanctioned side channel, so `crates/sim/src/trace.rs` is
 //!   sink-exempt. Every violation prints the concrete witness call
 //!   chain.
-//! - **R11 lock-discipline** — a `Mutex` guard must not be held across
-//!   a call that can block the OS thread (`Condvar::wait`, synchronous
-//!   channel send/recv, `thread::scope` / joins), whether the blocking
-//!   call is in the same body or transitively inside a callee; and two
-//!   locks must never be acquired in inverted orders in different
-//!   functions.
+//! - **R11 lock-discipline** — two locks must never be acquired in
+//!   inverted orders in different functions. (Guards held across
+//!   blocking calls moved to R16, which decides them on real CFG paths
+//!   in [`crate::dataflow`] instead of token spans.)
 //! - **R12 rng-provenance** — a `SimRng` handle must not be stored in a
 //!   thread-crossing container type (`Arc`, `Mutex`, channel endpoints)
 //!   or passed through a channel send. Streams are derived by name and
@@ -69,7 +67,7 @@ pub fn check(files: &mut [LintedFile], budgets: &Ratchet) -> Outcome {
 /// table (mirrors `workspace::push_hit`, kept separate so the two
 /// phases stay independently testable).
 fn push_hit(file: &mut LintedFile, rule: RuleId, line: usize, message: String) {
-    let found = scan::find_suppression(&file.prepared, rule.key(), line).cloned();
+    let found = scan::find_suppression(&file.suppr, rule.key(), line).cloned();
     match found {
         Some(s) => {
             file.matched_allows.push((rule.key().to_string(), s.line));
@@ -152,35 +150,9 @@ fn r10_sim_purity(files: &mut [LintedFile], g: &CallGraph) {
     }
 }
 
-/// R11 — guards held across blocking calls, and inverted lock orders.
+/// R11 — inverted lock orders across functions. (Guard-across-blocking
+/// moved to R16, which runs a CFG path search in `crate::dataflow`.)
 fn r11_lock_discipline(files: &mut [LintedFile], g: &CallGraph) {
-    // Which nodes can (transitively) block: reverse-BFS from every node
-    // with a syntactic blocking site.
-    let mut may_block = vec![false; g.nodes.len()];
-    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); g.nodes.len()];
-    for (n, row) in g.edges.iter().enumerate() {
-        for &m in row {
-            rev[m].push(n);
-        }
-    }
-    let mut queue: std::collections::VecDeque<usize> = (0..g.nodes.len())
-        .filter(|&n| {
-            let node = &g.nodes[n];
-            !files[node.file].items.fns[node.item].blocking.is_empty()
-        })
-        .collect();
-    for &n in &queue {
-        may_block[n] = true;
-    }
-    while let Some(n) = queue.pop_front() {
-        for &p in &rev[n] {
-            if !may_block[p] {
-                may_block[p] = true;
-                queue.push_back(p);
-            }
-        }
-    }
-
     let mut hits: Vec<(usize, usize, String)> = Vec::new();
     // (first target, second target, file, line) for order comparison.
     let mut order_pairs: Vec<(String, String, usize, usize)> = Vec::new();
@@ -195,45 +167,11 @@ fn r11_lock_discipline(files: &mut [LintedFile], g: &CallGraph) {
                 .drops
                 .iter()
                 .find(|d| d.tok > lock.tok && d.name == *guard)
-                .map(|d| (d.tok, d.line))
-                .unwrap_or((usize::MAX, usize::MAX));
-            for b in &item.blocking {
-                if b.tok > lock.tok && b.tok < span_end.0 {
-                    hits.push((
-                        node.file,
-                        b.line,
-                        format!(
-                            "`{}` holds guard `{guard}` on `{}` (line {}) across \
-                             blocking `{}`; drop the guard first or restructure",
-                            item.qname, lock.target, lock.line, b.what
-                        ),
-                    ));
-                }
-            }
-            // Calls inside the span that resolve to a may-block callee.
-            for &(ci, target) in &g.call_targets[n] {
-                let call = &item.calls[ci];
-                if call.line >= lock.line && call.line < span_end.1 && may_block[target] {
-                    // Skip self-loops and the trivial case where the
-                    // "callee" is the function itself.
-                    if target == n {
-                        continue;
-                    }
-                    hits.push((
-                        node.file,
-                        call.line,
-                        format!(
-                            "`{}` holds guard `{guard}` on `{}` (line {}) across a call \
-                             to `{}`, which can block (transitively); drop the guard \
-                             before the call",
-                            item.qname, lock.target, lock.line, g.nodes[target].qname
-                        ),
-                    ));
-                }
-            }
+                .map(|d| d.tok)
+                .unwrap_or(usize::MAX);
             // Second acquisitions while the guard is live → order pairs.
             for l2 in &item.locks {
-                if l2.tok > lock.tok && l2.tok < span_end.0 && l2.target != lock.target {
+                if l2.tok > lock.tok && l2.tok < span_end && l2.target != lock.target {
                     order_pairs.push((lock.target.clone(), l2.target.clone(), node.file, l2.line));
                 }
             }
@@ -418,22 +356,16 @@ mod tests {
     }
 
     #[test]
-    fn r11_guard_across_blocking_call_direct_and_transitive() {
+    fn r11_no_longer_flags_guard_across_blocking() {
+        // Guard-across-blocking is R16's job now (CFG path search in
+        // `dataflow`); R11 must stay silent on it.
         let mut files = set(&[(
             "sim",
             "crates/sim/src/ex.rs",
-            "struct Q;\nimpl Q {\nfn direct(&self) {\nlet g = self.state.lock();\nself.cv.wait(g);\n}\nfn indirect(&self) {\nlet g = self.state.lock();\nself.blocky();\ndrop(g);\n}\nfn blocky(&self) {\nself.cv.wait(x);\n}\nfn fine(&self) {\nlet g = self.state.lock();\ndrop(g);\nself.blocky();\n}\n}\n",
+            "struct Q;\nimpl Q {\nfn direct(&self) {\nlet g = self.state.lock();\nself.cv.wait(g);\n}\n}\n",
         )]);
         run(&mut files, "");
-        let r11: Vec<&Violation> = files[0]
-            .report
-            .violations
-            .iter()
-            .filter(|v| v.rule == RuleId::R11)
-            .collect();
-        assert_eq!(r11.len(), 2, "direct + transitive, not the post-drop call: {r11:?}");
-        assert!(r11[0].message.contains("blocking `wait`"));
-        assert!(r11[1].message.contains("can block (transitively)"));
+        assert!(files[0].report.violations.iter().all(|v| v.rule != RuleId::R11));
     }
 
     #[test]

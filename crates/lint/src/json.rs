@@ -6,6 +6,7 @@
 //! JSON reader used by the round-trip tests and available to any gate
 //! that wants to consume the report without string matching.
 
+use crate::dataflow;
 use crate::graph::CallGraph;
 use crate::{Report, Violation};
 
@@ -63,7 +64,7 @@ pub fn report_to_json(report: &Report) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"tool\": \"hetlint\",\n");
-    out.push_str("  \"schema_version\": 3,\n");
+    out.push_str("  \"schema_version\": 4,\n");
     out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
     out.push_str(&format!("  \"clean\": {},\n", report.clean()));
     out.push_str(&format!(
@@ -98,13 +99,19 @@ pub fn report_to_json(report: &Report) -> String {
             rows.join(",\n")
         ));
     }
-    match report.reachable_panics {
-        Some((count, budget)) => out.push_str(&format!(
-            "  \"reachable_panics\": {{ \"count\": {count}, \"budget\": {budget}, \
-             \"over\": {} }},\n",
-            count > budget
-        )),
-        None => out.push_str("  \"reachable_panics\": null,\n"),
+    for (key, row) in [
+        ("reachable_panics", report.reachable_panics),
+        ("nondet_taint", report.nondet_taint),
+        ("discarded_effects", report.discarded_effects),
+    ] {
+        match row {
+            Some((count, budget)) => out.push_str(&format!(
+                "  \"{key}\": {{ \"count\": {count}, \"budget\": {budget}, \
+                 \"over\": {} }},\n",
+                count > budget
+            )),
+            None => out.push_str(&format!("  \"{key}\": null,\n")),
+        }
     }
     if report.notes.is_empty() {
         out.push_str("  \"notes\": []\n");
@@ -159,6 +166,68 @@ pub fn graph_to_json(graph: &CallGraph) -> String {
         out.push_str("  \"edges\": []\n");
     } else {
         out.push_str(&format!("  \"edges\": [\n    {}\n  ]\n", pairs.join(",\n    ")));
+    }
+    out.push('}');
+    out
+}
+
+/// Serializes the converged dataflow document for
+/// `hetlint --dataflow`: per-function summaries (return taint,
+/// parameter flows, blocking) and every R14–R16 finding, suppressed
+/// included. The document round-trips through [`parse`].
+pub fn dataflow_to_json(doc: &dataflow::Doc) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"tool\": \"hetlint-dataflow\",\n");
+    out.push_str("  \"schema_version\": 4,\n");
+    if doc.fns.is_empty() {
+        out.push_str("  \"functions\": [],\n");
+    } else {
+        let rows: Vec<String> = doc
+            .fns
+            .iter()
+            .map(|f| {
+                let returns = f
+                    .returns_taint
+                    .as_deref()
+                    .map_or("null".to_string(), escape);
+                let sinks: Vec<String> =
+                    f.param_sinks.iter().map(|s| escape(s)).collect();
+                format!(
+                    "    {{ \"qname\": {}, \"path\": {}, \"line\": {}, \"blocks\": {}, \
+                     \"returns_taint\": {returns}, \"param_to_return\": {}, \
+                     \"param_sinks\": [{}], \"may_block\": {} }}",
+                    escape(&f.qname),
+                    escape(&f.path),
+                    f.line,
+                    f.blocks,
+                    f.param_to_return,
+                    sinks.join(", "),
+                    f.may_block
+                )
+            })
+            .collect();
+        out.push_str(&format!("  \"functions\": [\n{}\n  ],\n", rows.join(",\n")));
+    }
+    if doc.findings.is_empty() {
+        out.push_str("  \"findings\": []\n");
+    } else {
+        let rows: Vec<String> = doc
+            .findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "    {{ \"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \
+                     \"suppressed\": {} }}",
+                    escape(&f.rule),
+                    escape(&f.path),
+                    f.line,
+                    escape(&f.message),
+                    f.suppressed
+                )
+            })
+            .collect();
+        out.push_str(&format!("  \"findings\": [\n{}\n  ]\n", rows.join(",\n")));
     }
     out.push('}');
     out
@@ -219,6 +288,50 @@ impl Value {
         match self {
             Value::Arr(items) => Some(items),
             _ => None,
+        }
+    }
+}
+
+/// Renders a [`Value`] back to compact JSON. Integers print without a
+/// fractional part, so documents built from counts and line numbers
+/// round-trip bit-identically — the property the analysis cache's
+/// equality tests rely on.
+pub fn render(v: &Value) -> String {
+    let mut out = String::new();
+    render_into(v, &mut out);
+    out
+}
+
+fn render_into(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) if n.fract() == 0.0 && n.abs() < 9.0e15 => {
+            out.push_str(&format!("{}", *n as i64));
+        }
+        Value::Num(n) => out.push_str(&format!("{n}")),
+        Value::Str(s) => out.push_str(&escape(s)),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_into(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(members) => {
+            out.push('{');
+            for (i, (key, value)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&escape(key));
+                out.push(':');
+                render_into(value, out);
+            }
+            out.push('}');
         }
     }
 }
@@ -422,5 +535,39 @@ mod tests {
     fn unicode_escape_parses() {
         let v = parse("\"\\u0041\\u00e9\"").unwrap();
         assert_eq!(v.as_str(), Some("Aé"));
+    }
+
+    #[test]
+    fn every_control_char_escapes_and_round_trips() {
+        // U+0000..=U+001F must all be escaped (raw control bytes are
+        // invalid JSON) and survive a full render → parse cycle.
+        let all_controls: String = (0u32..=0x1f).map(|c| char::from_u32(c).unwrap()).collect();
+        let escaped = escape(&all_controls);
+        let inner = &escaped[1..escaped.len() - 1];
+        assert!(
+            inner.chars().all(|c| c as u32 >= 0x20),
+            "escaped form must contain no raw control characters: {inner:?}"
+        );
+        let doc = Value::Obj(vec![("s".to_string(), Value::Str(all_controls.clone()))]);
+        let back = parse(&render(&doc)).unwrap();
+        assert_eq!(back.get("s").and_then(Value::as_str), Some(all_controls.as_str()));
+    }
+
+    #[test]
+    fn render_round_trips_nested_values() {
+        let doc = Value::Obj(vec![
+            ("n".to_string(), Value::Num(42.0)),
+            ("f".to_string(), Value::Num(2.5)),
+            ("b".to_string(), Value::Bool(true)),
+            ("z".to_string(), Value::Null),
+            (
+                "a".to_string(),
+                Value::Arr(vec![Value::Str("x\ny".to_string()), Value::Num(0.0)]),
+            ),
+        ]);
+        let text = render(&doc);
+        assert_eq!(parse(&text).unwrap(), doc);
+        // Integers render without a fractional part.
+        assert!(text.contains("\"n\":42"), "got {text}");
     }
 }

@@ -43,6 +43,9 @@
 //! every suppression is counted in the report. R9 itself cannot be
 //! suppressed.
 
+pub mod cache;
+pub mod cfg;
+pub mod dataflow;
 pub mod graph;
 pub mod interproc;
 pub mod json;
@@ -90,11 +93,60 @@ pub enum RuleId {
     R12,
     /// Panic site reachable from fabric dispatch, over the ratchet.
     R13,
+    /// Nondeterministic value flowing into a trace/seed/intern sink.
+    R14,
+    /// Discarded `Result` of a fabric effect.
+    R15,
+    /// Lock guard live across an `.await` or blocking call, on a CFG
+    /// path.
+    R16,
     /// Malformed suppression (missing reason).
     BadAllow,
 }
 
+/// Canonical keys of every numbered rule, in order — the single source
+/// for `--explain` listings and "valid rules" error text.
+pub const RULE_KEYS: &[&str] = &[
+    "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11", "r12", "r13", "r14",
+    "r15", "r16",
+];
+
+/// The human-readable rule range (`R1..R16`), derived from
+/// [`RULE_KEYS`] so help text can never drift from the rule set.
+pub fn rule_range() -> String {
+    format!(
+        "R{}..R{}",
+        RULE_KEYS.first().map_or("?", |k| &k[1..]),
+        RULE_KEYS.last().map_or("?", |k| &k[1..])
+    )
+}
+
 impl RuleId {
+    /// The rule for a canonical key (inverse of [`RuleId::key`]); used
+    /// by the analysis cache to deserialize violations.
+    pub fn from_key(key: &str) -> Option<RuleId> {
+        const ALL: &[RuleId] = &[
+            RuleId::R1,
+            RuleId::R2,
+            RuleId::R3,
+            RuleId::R4,
+            RuleId::R5,
+            RuleId::R6,
+            RuleId::R7,
+            RuleId::R8,
+            RuleId::R9,
+            RuleId::R10,
+            RuleId::R11,
+            RuleId::R12,
+            RuleId::R13,
+            RuleId::R14,
+            RuleId::R15,
+            RuleId::R16,
+            RuleId::BadAllow,
+        ];
+        ALL.iter().copied().find(|r| r.key() == key)
+    }
+
     /// The canonical lowercase key used in `allow(..)` annotations.
     pub fn key(self) -> &'static str {
         match self {
@@ -111,6 +163,9 @@ impl RuleId {
             RuleId::R11 => "r11",
             RuleId::R12 => "r12",
             RuleId::R13 => "r13",
+            RuleId::R14 => "r14",
+            RuleId::R15 => "r15",
+            RuleId::R16 => "r16",
             RuleId::BadAllow => "bad-allow",
         }
     }
@@ -128,9 +183,12 @@ impl RuleId {
             RuleId::R8 => "R8 trace-kinds: emitted kinds and the registry must agree",
             RuleId::R9 => "R9 stale-allow: suppressions must cover a live violation",
             RuleId::R10 => "R10 sim-purity: no ambient I/O reachable from simulation entry points",
-            RuleId::R11 => "R11 lock-discipline: no guard across blocking calls; one lock order",
+            RuleId::R11 => "R11 lock-discipline: locks must be acquired in one global order",
             RuleId::R12 => "R12 rng-provenance: SimRng must not cross thread/channel boundaries",
             RuleId::R13 => "R13 panic-reach: panics reachable from fabric dispatch are ratcheted",
+            RuleId::R14 => "R14 nondet-taint: nondeterministic values must not reach trace/seed sinks",
+            RuleId::R15 => "R15 discarded-effects: fabric-effect Results must not be discarded",
+            RuleId::R16 => "R16 lock-across-await: no guard live on a path to a suspension point",
             RuleId::BadAllow => "suppressions must carry a reason",
         }
     }
@@ -201,12 +259,9 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              the sink with allow(r10)."
         }
         "r11" => {
-            "R11 lock-discipline — a Mutex guard must not be held across a call that can \
-             block the OS thread (Condvar::wait, synchronous channel send/recv, \
-             thread::scope, joins), directly or transitively through a callee; and two \
-             locks must never be acquired in inverted orders in different functions. \
-             Channel operations that are immediately .awaited are virtual-time \
-             suspensions, not blocks."
+            "R11 lock-discipline — two locks must never be acquired in inverted orders in \
+             different functions; pick one global order. (Guards held across blocking \
+             calls are R16's job, now decided on real CFG paths rather than token spans.)"
         }
         "r12" => {
             "R12 rng-provenance — a SimRng handle must not be stored in a thread-crossing \
@@ -221,6 +276,33 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              `reachable-panics` budget in hetlint.ratchet. A panic on the dispatch path \
              kills the whole campaign, not one task. Sites under a reasoned allow(r5) are \
              exempt; the same annotation serves both rules."
+        }
+        "r14" => {
+            "R14 nondet-taint — a value derived from ambient nondeterminism (wall-clock \
+             reads, HashMap/HashSet iteration order, thread ids, env::var, {:p} pointer \
+             formatting) must not flow into Tracer::emit, the digest fold, SimRng seeds \
+             or stream names, or Symbol interning. The dataflow engine follows the value \
+             through bindings, branches, and calls; every message prints the hop chain. \
+             Sites are counted against the `r14` key in hetlint.ratchet. Fix: derive the \
+             value from virtual time, sorted iteration, or named streams; annotate truly \
+             diagnostic flows with `hetlint: allow(r14) — <why>`."
+        }
+        "r15" => {
+            "R15 discarded-effects — `let _ = …` on a fabric effect (submit, deliver, \
+             send_now, try_send, send) silently drops a delivery failure: the campaign \
+             continues with a lost message and no trace of why. Flow-sensitive; the \
+             message carries the entry-to-statement path. Counted against the `r15` key \
+             in hetlint.ratchet. Teardown-tolerant discards take a reasoned \
+             `hetlint: allow(r15) — <why>`."
+        }
+        "r16" => {
+            "R16 lock-across-await — a Mutex guard must not be live on any CFG path from \
+             its acquisition to an `.await` point, a blocking call (Condvar::wait, \
+             synchronous channel send/recv, joins, thread::scope), or a call into a \
+             function that can block transitively. Path-sensitive: a branch that drops \
+             the guard before suspending is clean, and every violation prints the \
+             concrete witness path through the function. Channel operations immediately \
+             .awaited are virtual-time suspensions and only count as the await itself."
         }
         "bad-allow" => {
             "bad-allow — every suppression needs a reason: \
@@ -318,6 +400,17 @@ pub struct FileReport {
     pub unwrap_sites: Vec<usize>,
 }
 
+impl FileReport {
+    /// True when the per-file pass produced nothing at all — the state
+    /// a freshly deserialized cache entry must reproduce exactly.
+    pub fn is_empty(&self) -> bool {
+        self.violations.is_empty()
+            && self.suppressed.is_empty()
+            && self.bad_allows.is_empty()
+            && self.unwrap_sites.is_empty()
+    }
+}
+
 /// One file after the per-file pass, carrying everything the
 /// workspace-wide phase needs.
 #[derive(Debug)]
@@ -326,8 +419,11 @@ pub struct LintedFile {
     pub ctx: FileContext,
     /// Per-file results; the cross-file phase appends to it.
     pub report: FileReport,
-    /// The prepared source (token stream, suppressions, test boundary).
-    pub prepared: scan::Prepared,
+    /// The suppression table (annotations plus per-line code/comment
+    /// maps) — everything the cross-file phase needs to resolve
+    /// `allow(..)` coverage, without retaining the token stream. Kept
+    /// token-free so a cached entry can reconstruct it.
+    pub suppr: scan::SupprIndex,
     /// Seed-stream derivation sites (R7 raw material).
     pub stream_uses: Vec<rules::StreamUse>,
     /// Trace emit sites (R8 raw material).
@@ -374,7 +470,7 @@ pub fn lint_file(ctx: &FileContext, source: &str) -> LintedFile {
     }
     // Reason-less suppressions are flagged even when nothing fired under
     // them — a stale or typo'd allow must not linger silently.
-    for s in &prepared.suppressions {
+    for s in &prepared.suppr.suppressions {
         if s.reason.is_empty() && !report.bad_allows.iter().any(|b| b.line == s.line) {
             report.bad_allows.push(Violation {
                 rule: RuleId::BadAllow,
@@ -400,7 +496,7 @@ pub fn lint_file(ctx: &FileContext, source: &str) -> LintedFile {
     LintedFile {
         ctx: ctx.clone(),
         report,
-        prepared,
+        suppr: prepared.suppr,
         stream_uses,
         emit_sites,
         registry,
@@ -431,6 +527,12 @@ pub struct Report {
     /// fabric dispatch (R13); `None` when the interprocedural phase
     /// did not run.
     pub reachable_panics: Option<(usize, usize)>,
+    /// `(count, budget)` of un-allowed nondeterminism-taint flows
+    /// (R14); `None` when the dataflow phase did not run.
+    pub nondet_taint: Option<(usize, usize)>,
+    /// `(count, budget)` of un-allowed discarded fabric effects (R15);
+    /// `None` when the dataflow phase did not run.
+    pub discarded_effects: Option<(usize, usize)>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
     /// Informational findings that do not fail the run (e.g. ratchet
@@ -445,6 +547,8 @@ impl Report {
             && self.bad_allows.is_empty()
             && self.unwrap_rows.iter().all(|(_, count, budget)| count <= budget)
             && self.reachable_panics.is_none_or(|(count, budget)| count <= budget)
+            && self.nondet_taint.is_none_or(|(count, budget)| count <= budget)
+            && self.discarded_effects.is_none_or(|(count, budget)| count <= budget)
     }
 }
 
@@ -457,21 +561,57 @@ pub fn lint_set(inputs: &[(FileContext, String)], budgets: &ratchet::Ratchet) ->
     lint_set_full(inputs, budgets).0
 }
 
+/// Everything one workspace pass produces: the report, the call graph
+/// (`--callgraph`), and the dataflow document (`--dataflow`).
+#[derive(Debug, Default)]
+pub struct WorkspaceOutput {
+    /// The aggregate report.
+    pub report: Report,
+    /// The workspace call graph.
+    pub graph: graph::CallGraph,
+    /// Converged dataflow summaries and R14–R16 findings.
+    pub dataflow: dataflow::Doc,
+}
+
 /// As [`lint_set`], also returning the workspace call graph (for
 /// `hetlint --callgraph` and the graph-artifact CI step).
 pub fn lint_set_full(
     inputs: &[(FileContext, String)],
     budgets: &ratchet::Ratchet,
 ) -> (Report, graph::CallGraph) {
-    let mut files: Vec<LintedFile> = inputs
+    let out = lint_set_all(inputs, budgets);
+    (out.report, out.graph)
+}
+
+/// The full workspace pass: per-file rules over each file, the
+/// cross-file phase (R7–R9), the interprocedural rules (R10–R13), the
+/// dataflow rules (R14–R16), and ratchet accounting.
+pub fn lint_set_all(
+    inputs: &[(FileContext, String)],
+    budgets: &ratchet::Ratchet,
+) -> WorkspaceOutput {
+    let files: Vec<LintedFile> = inputs
         .iter()
         .map(|(ctx, source)| lint_file(ctx, source))
         .collect();
+    finish_workspace(files, budgets)
+}
+
+/// The cross-file tail of a workspace pass: runs R7–R16 over files that
+/// have already been through the per-file pass (fresh or from the
+/// cache) and assembles the aggregate report.
+pub fn finish_workspace(
+    mut files: Vec<LintedFile>,
+    budgets: &ratchet::Ratchet,
+) -> WorkspaceOutput {
     let outcome = workspace::cross_check(&mut files, budgets);
 
     let mut report = Report { files_scanned: files.len(), ..Report::default() };
-    report.reachable_panics = Some(outcome.reachable_panics);
-    report.notes.extend(outcome.notes);
+    report.reachable_panics = Some(outcome.interproc.reachable_panics);
+    report.nondet_taint = Some(outcome.dataflow.nondet_taint);
+    report.discarded_effects = Some(outcome.dataflow.discarded_effects);
+    report.notes.extend(outcome.interproc.notes);
+    report.notes.extend(outcome.dataflow.notes);
     let mut counts: Vec<(String, usize)> = Vec::new();
     for f in files {
         report.violations.extend(f.report.violations);
@@ -509,7 +649,11 @@ pub fn lint_set_full(
         }
         report.unwrap_rows.push((name, count, budget));
     }
-    (report, outcome.graph)
+    WorkspaceOutput {
+        report,
+        graph: outcome.interproc.graph,
+        dataflow: outcome.dataflow.doc,
+    }
 }
 
 /// Classifies a workspace-relative path into a [`FileContext`]; `None`
@@ -579,9 +723,28 @@ pub fn run(root: &Path) -> std::io::Result<Report> {
 
 /// As [`run`], also returning the workspace call graph.
 pub fn run_full(root: &Path) -> std::io::Result<(Report, graph::CallGraph)> {
+    run_all(root).map(|out| (out.report, out.graph))
+}
+
+/// The full filesystem entry point: walks the workspace, loads the
+/// ratchet, and runs every phase, returning the report, call graph,
+/// and dataflow document. No cache — see [`run_all_cached`].
+pub fn run_all(root: &Path) -> std::io::Result<WorkspaceOutput> {
+    run_all_cached(root, None).map(|(out, _)| out)
+}
+
+/// As [`run_all`], with the per-file pass served through the incremental
+/// cache when `cache_dir` is given. The cross-file phases (R7–R16)
+/// always run fresh; only lexing, per-file rules, and CFG construction
+/// are cached. Returns hit/miss counts alongside the output.
+pub fn run_all_cached(
+    root: &Path,
+    cache_dir: Option<&Path>,
+) -> std::io::Result<(WorkspaceOutput, cache::CacheStats)> {
     let budgets = ratchet::load(root)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    let mut inputs: Vec<(FileContext, String)> = Vec::new();
+    let mut stats = cache::CacheStats::default();
+    let mut files: Vec<LintedFile> = Vec::new();
     for path in collect_sources(root)? {
         let rel = path
             .strip_prefix(root)
@@ -590,9 +753,15 @@ pub fn run_full(root: &Path) -> std::io::Result<(Report, graph::CallGraph)> {
             .replace('\\', "/");
         let Some(ctx) = classify(&rel) else { continue };
         let source = std::fs::read_to_string(&path)?;
-        inputs.push((ctx, source));
+        files.push(match cache_dir {
+            Some(dir) => cache::lint_file_cached(dir, &ctx, &source, &mut stats),
+            None => {
+                stats.misses += 1;
+                lint_file(&ctx, &source)
+            }
+        });
     }
-    Ok(lint_set_full(&inputs, &budgets))
+    Ok((finish_workspace(files, &budgets), stats))
 }
 
 #[cfg(test)]

@@ -5,12 +5,20 @@
 //! DESIGN.md "Determinism rules" for the rule catalogue and the
 //! `hetlint: allow(<rule>) — <reason>` suppression syntax.
 //!
+//! The per-file pass runs through the incremental cache under
+//! `target/hetlint-cache/` by default; the cross-file phases (R7–R16)
+//! always run fresh.
+//!
 //! Options:
 //! - `--format text|json` — report format (default text)
 //! - `--callgraph` — emit the workspace call graph instead of the
 //!   report (JSON under `--format json`, a summary under text)
+//! - `--dataflow` — emit the converged dataflow document (per-function
+//!   summaries plus every R14–R16 finding) instead of the report
+//! - `--no-cache` — lint every file from source, bypassing the cache
 //! - `--explain <rule>` — print the long-form description of one rule
-//!   (`R1`..`R13`, `bad-allow`, or any `allow(..)` alias) and exit
+//!   (any key in the rule range, `bad-allow`, or an `allow(..)` alias)
+//!   and exit
 //!
 //! Exit codes are stable for CI:
 //! - `0` — contract holds (no violations, budgets respected)
@@ -21,7 +29,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use hetflow_lint::{graph, json, Report, RuleId};
+use hetflow_lint::{cache, graph, json, rule_range, Report, RuleId, RULE_KEYS};
 
 enum Format {
     Text,
@@ -30,13 +38,16 @@ enum Format {
 
 fn usage() {
     eprintln!(
-        "usage: hetlint [--format text|json] [--callgraph] [--explain <rule>] [workspace-root]"
+        "usage: hetlint [--format text|json] [--callgraph] [--dataflow] [--no-cache] \
+         [--explain <rule>] [workspace-root]"
     );
 }
 
 fn main() -> ExitCode {
     let mut format = Format::Text;
     let mut callgraph = false;
+    let mut dataflow = false;
+    let mut use_cache = true;
     let mut explain: Option<String> = None;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -53,6 +64,8 @@ fn main() -> ExitCode {
             "--format=json" => format = Format::Json,
             "--format=text" => format = Format::Text,
             "--callgraph" => callgraph = true,
+            "--dataflow" => dataflow = true,
+            "--no-cache" => use_cache = false,
             "--explain" => match args.next() {
                 Some(rule) => explain = Some(rule),
                 None => {
@@ -87,13 +100,18 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
             None => {
-                eprintln!("hetlint: unknown rule `{rule}` (try R1..R13 or bad-allow)");
+                eprintln!(
+                    "hetlint: unknown rule `{rule}` (valid: {}, bad-allow — i.e. {})",
+                    RULE_KEYS.join(", "),
+                    rule_range()
+                );
                 ExitCode::from(2)
             }
         };
     }
     let root = root.unwrap_or_else(|| PathBuf::from("."));
-    let (report, graph) = match hetflow_lint::run_full(&root) {
+    let cache_dir = use_cache.then(|| cache::default_dir(&root));
+    let (out, stats) = match hetflow_lint::run_all_cached(&root, cache_dir.as_deref()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("hetlint: {e}");
@@ -102,16 +120,22 @@ fn main() -> ExitCode {
     };
     if callgraph {
         match format {
-            Format::Json => println!("{}", json::graph_to_json(&graph)),
-            Format::Text => print_graph(&graph),
+            Format::Json => println!("{}", json::graph_to_json(&out.graph)),
+            Format::Text => print_graph(&out.graph),
+        }
+        return ExitCode::SUCCESS;
+    }
+    if dataflow {
+        match format {
+            Format::Json | Format::Text => println!("{}", json::dataflow_to_json(&out.dataflow)),
         }
         return ExitCode::SUCCESS;
     }
     match format {
-        Format::Json => println!("{}", json::report_to_json(&report)),
-        Format::Text => print_report(&report),
+        Format::Json => println!("{}", json::report_to_json(&out.report)),
+        Format::Text => print_report(&out.report, use_cache.then_some(stats)),
     }
-    if report.clean() {
+    if out.report.clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -134,7 +158,7 @@ fn print_graph(graph: &graph::CallGraph) {
     }
 }
 
-fn print_report(report: &Report) {
+fn print_report(report: &Report, stats: Option<cache::CacheStats>) {
     let rules = [
         RuleId::R1,
         RuleId::R2,
@@ -148,6 +172,9 @@ fn print_report(report: &Report) {
         RuleId::R11,
         RuleId::R12,
         RuleId::R13,
+        RuleId::R14,
+        RuleId::R15,
+        RuleId::R16,
         RuleId::BadAllow,
     ];
     for rule in rules {
@@ -180,15 +207,22 @@ fn print_report(report: &Report) {
             }
         }
     }
-    if let Some((count, budget)) = report.reachable_panics {
-        println!("{}", RuleId::R13.title());
-        if count > budget {
-            println!(
-                "  {count}/{budget} OVER BUDGET; see the R13 violations above for the \
-                 witness chains"
-            );
-        } else {
-            println!("  reachable panic sites: {count}/{budget}");
+    for (rule, label, row) in [
+        (RuleId::R13, "reachable panic sites", report.reachable_panics),
+        (RuleId::R14, "nondeterminism-taint flows", report.nondet_taint),
+        (RuleId::R15, "discarded fabric effects", report.discarded_effects),
+    ] {
+        if let Some((count, budget)) = row {
+            println!("{}", rule.title());
+            if count > budget {
+                println!(
+                    "  {count}/{budget} OVER BUDGET; see the {} violations above for \
+                     the witness chains",
+                    rule.key()
+                );
+            } else {
+                println!("  {label}: {count}/{budget}");
+            }
         }
     }
     for note in &report.notes {
@@ -206,6 +240,14 @@ fn print_report(report: &Report) {
         report.suppressed.len(),
         report.bad_allows.len()
     );
+    if let Some(stats) = stats {
+        println!(
+            "hetlint: cache {} hits, {} misses ({})",
+            stats.hits,
+            stats.misses,
+            cache::fingerprint()
+        );
+    }
     if report.clean() {
         println!("hetlint: determinism contract holds");
     }

@@ -19,6 +19,7 @@
 //! Only tokens before the file's `#[cfg(test)]` boundary are parsed:
 //! test modules may print, panic, and juggle RNGs freely.
 
+use crate::cfg::{self, Cfg};
 use crate::lexer::{Tok, TokKind};
 use crate::scan::Prepared;
 use crate::FileContext;
@@ -142,6 +143,12 @@ pub struct FnItem {
     pub has_await: bool,
     /// 1-based line of the `fn` keyword.
     pub line: usize,
+    /// Parameter names in declaration order (`self` included when the
+    /// item is a method) — the index space for dataflow summaries.
+    pub params: Vec<String>,
+    /// The body's control-flow graph (statements, branch/loop/match
+    /// edges, early-return edges) — the substrate for R14–R16.
+    pub cfg: Cfg,
     /// Every call expression in the body, in source order.
     pub calls: Vec<CallSite>,
     /// Banned-sink uses in the body.
@@ -213,8 +220,10 @@ enum Scope {
     Mod(String),
     /// An `impl … {` block for the named type.
     Impl(String),
-    /// A `fn` body; the index points into `ParsedFile::fns`.
-    Fn(usize),
+    /// A `fn` body; the index points into `ParsedFile::fns`, and
+    /// `open` is the token index of the body's `{` so the CFG can be
+    /// built over the exact body span when the scope closes.
+    Fn { idx: usize, open: usize },
     /// Any other `{ … }` group.
     Block,
 }
@@ -224,7 +233,7 @@ enum Scope {
 enum Pending {
     Mod(String),
     Impl(String),
-    Fn { name: String, is_async: bool, line: usize },
+    Fn { name: String, is_async: bool, line: usize, params: Vec<String> },
 }
 
 /// Parses one prepared file into items. Tokens at or past the
@@ -263,6 +272,7 @@ pub fn parse_items(ctx: &FileContext, prepared: &Prepared) -> ParsedFile {
                 name: t.text(i + 1).to_string(),
                 is_async,
                 line: t.line(i),
+                params: param_names(t, i + 2),
             });
             // Signature parameters contribute R12 bindings; collect them
             // into the not-yet-created item via a side record below.
@@ -272,7 +282,7 @@ pub fn parse_items(ctx: &FileContext, prepared: &Prepared) -> ParsedFile {
         if t.p(i, ";") {
             // A `;` at item level cancels a pending header (trait fn
             // declaration); inside a body it is just a statement end.
-            if !matches!(scopes.last(), Some(Scope::Fn(_))) {
+            if !matches!(scopes.last(), Some(Scope::Fn { .. })) {
                 pending = None;
             }
             i += 1;
@@ -282,10 +292,10 @@ pub fn parse_items(ctx: &FileContext, prepared: &Prepared) -> ParsedFile {
             let scope = match pending.take() {
                 Some(Pending::Mod(name)) => Scope::Mod(name),
                 Some(Pending::Impl(ty)) => Scope::Impl(ty),
-                Some(Pending::Fn { name, is_async, line }) => {
-                    let item = new_fn_item(ctx, &scopes, &name, is_async, line);
+                Some(Pending::Fn { name, is_async, line, params }) => {
+                    let item = new_fn_item(ctx, &scopes, &name, is_async, line, params);
                     out.fns.push(item);
-                    Scope::Fn(out.fns.len() - 1)
+                    Scope::Fn { idx: out.fns.len() - 1, open: i }
                 }
                 None => Scope::Block,
             };
@@ -294,14 +304,16 @@ pub fn parse_items(ctx: &FileContext, prepared: &Prepared) -> ParsedFile {
             continue;
         }
         if t.p(i, "}") {
-            scopes.pop();
+            if let Some(Scope::Fn { idx, open }) = scopes.pop() {
+                out.fns[idx].cfg = cfg::build(toks, open + 1, i);
+            }
             i += 1;
             continue;
         }
 
         // Body-level detections, attributed to the innermost fn.
         let fn_idx = scopes.iter().rev().find_map(|s| match s {
-            Scope::Fn(idx) => Some(*idx),
+            Scope::Fn { idx, .. } => Some(*idx),
             _ => None,
         });
         if let Some(idx) = fn_idx {
@@ -310,6 +322,14 @@ pub fn parse_items(ctx: &FileContext, prepared: &Prepared) -> ParsedFile {
             continue;
         }
         i += 1;
+    }
+
+    // A fn body cut off by the test boundary still gets a CFG over
+    // whatever tokens survived.
+    while let Some(scope) = scopes.pop() {
+        if let Scope::Fn { idx, open } = scope {
+            out.fns[idx].cfg = cfg::build(toks, open + 1, toks.len());
+        }
     }
 
     // File-level R12: SimRng inside thread-crossing containers. The rng
@@ -445,12 +465,56 @@ fn impl_type_name(t: T<'_>, i: usize) -> (String, usize) {
 
 /// Builds an empty `FnItem` with its qualified name from the current
 /// scope stack.
+/// Parameter names from a fn signature, scanning from just after the
+/// fn's name token: `self` (however qualified) plus every
+/// `name: Type` pair at parenthesis depth 1.
+fn param_names(t: T<'_>, mut i: usize) -> Vec<String> {
+    // Skip a generic parameter list between the name and the `(`.
+    if t.p(i, "<") {
+        let mut depth = 1i32;
+        i += 1;
+        while i < t.len() && depth > 0 {
+            if t.p(i, "<") {
+                depth += 1;
+            } else if t.p(i, ">") {
+                depth -= 1;
+            }
+            i += 1;
+        }
+    }
+    let mut params = Vec::new();
+    if !t.p(i, "(") {
+        return params;
+    }
+    let mut depth = 0i32;
+    while i < t.len() {
+        if t.p(i, "(") {
+            depth += 1;
+        } else if t.p(i, ")") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if depth == 1 && t.is_id(i) {
+            let text = t.text(i);
+            if text == "self" && !t.p(i + 1, ":") && !params.iter().any(|p| p == "self") {
+                params.push("self".to_string());
+            } else if t.p(i + 1, ":") && text != "mut" && text != "ref" && text != "_" {
+                params.push(text.to_string());
+            }
+        }
+        i += 1;
+    }
+    params
+}
+
 fn new_fn_item(
     ctx: &FileContext,
     scopes: &[Scope],
     name: &str,
     is_async: bool,
     line: usize,
+    params: Vec<String>,
 ) -> FnItem {
     let mut parts = module_path_of(ctx);
     let mut impl_type = None;
@@ -472,6 +536,8 @@ fn new_fn_item(
         is_async,
         has_await: false,
         line,
+        params,
+        cfg: Cfg::default(),
         calls: Vec::new(),
         sinks: Vec::new(),
         locks: Vec::new(),
@@ -510,13 +576,13 @@ fn scan_site(
                 item.panics.push(PanicSite {
                     what: "unwrap".into(),
                     line: m_line,
-                    allowed: crate::scan::is_suppressed(prepared, "r5", m_line),
+                    allowed: crate::scan::is_suppressed(&prepared.suppr, "r5", m_line),
                 });
             } else if name == "expect" {
                 item.panics.push(PanicSite {
                     what: "expect".into(),
                     line: m_line,
-                    allowed: crate::scan::is_suppressed(prepared, "r5", m_line),
+                    allowed: crate::scan::is_suppressed(&prepared.suppr, "r5", m_line),
                 });
             } else if name == "lock" {
                 item.locks.push(LockSite {
@@ -544,7 +610,7 @@ fn scan_site(
             item.panics.push(PanicSite {
                 what: "panic!".into(),
                 line,
-                allowed: crate::scan::is_suppressed(prepared, "r5", line),
+                allowed: crate::scan::is_suppressed(&prepared.suppr, "r5", line),
             });
         }
         if SINK_MACROS.contains(&name) && !ctx.is_trace_module() {

@@ -80,7 +80,7 @@ fn push(
     line_no: usize,
     message: String,
 ) {
-    let suppressed = crate::scan::find_suppression(prepared, rule.key(), line_no).cloned();
+    let suppressed = crate::scan::find_suppression(&prepared.suppr, rule.key(), line_no).cloned();
     out.push(Violation {
         rule,
         path: ctx.rel_path.clone(),
@@ -625,7 +625,7 @@ pub fn count_unwraps(ctx: &FileContext, prepared: &Prepared) -> R5Sites {
             // Anchor on the method/macro name so wrapped calls attach
             // to the right line.
             let site_line = if t.p(i, ".") { t.line(i + 1) } else { line };
-            match crate::scan::find_suppression(prepared, "r5", site_line) {
+            match crate::scan::find_suppression(&prepared.suppr, "r5", site_line) {
                 Some(s) => {
                     if !out.used_allow_lines.contains(&s.line) {
                         out.used_allow_lines.push(s.line);

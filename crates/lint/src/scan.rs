@@ -21,13 +21,54 @@ pub struct Suppression {
     pub line: usize,
 }
 
+/// The suppression table of one file, decoupled from the token stream
+/// so the cross-file phases — and the incremental analysis cache — can
+/// resolve `allow(..)` coverage without retaining (or re-lexing) the
+/// source. Holds the annotations plus the two per-line facts the
+/// coverage walk needs: whether a line carries code, and whether it
+/// carries comment text.
+#[derive(Clone, Debug, Default)]
+pub struct SupprIndex {
+    /// All suppressions found in comments, in line order.
+    pub suppressions: Vec<Suppression>,
+    /// True for 1-based line `i + 1` when it holds any code token.
+    pub code: Vec<bool>,
+    /// True for 1-based line `i + 1` when it holds comment text.
+    pub commented: Vec<bool>,
+}
+
+impl SupprIndex {
+    /// Builds the index from a lexed file.
+    pub fn from_lex(lex: &Lexed) -> SupprIndex {
+        let mut suppressions = Vec::new();
+        for (idx, comment) in lex.comments.iter().enumerate() {
+            if !comment.is_empty() {
+                collect_suppressions(comment, idx + 1, &mut suppressions);
+            }
+        }
+        SupprIndex {
+            suppressions,
+            code: lex.has_code.clone(),
+            commented: lex.comments.iter().map(|c| !c.is_empty()).collect(),
+        }
+    }
+
+    fn code_on(&self, line: usize) -> bool {
+        line.checked_sub(1).and_then(|i| self.code.get(i)).copied().unwrap_or(false)
+    }
+
+    fn comment_on(&self, line: usize) -> bool {
+        line.checked_sub(1).and_then(|i| self.commented.get(i)).copied().unwrap_or(false)
+    }
+}
+
 /// A whole file after preparation.
 #[derive(Debug, Default)]
 pub struct Prepared {
     /// The lexed token stream plus per-line comment/code maps.
     pub lex: Lexed,
-    /// All suppressions found in comments.
-    pub suppressions: Vec<Suppression>,
+    /// The suppression table (annotations plus line maps).
+    pub suppr: SupprIndex,
     /// 1-based line of the file's first `#[cfg(test)]` attribute;
     /// `usize::MAX` when the file has no test module. Lines at or past
     /// the boundary are exempt from R5/R7/R8 accounting (the workspace
@@ -39,14 +80,9 @@ pub struct Prepared {
 /// boundary.
 pub fn prepare(source: &str) -> Prepared {
     let lex = lexer::lex(source);
-    let mut suppressions = Vec::new();
-    for (idx, comment) in lex.comments.iter().enumerate() {
-        if !comment.is_empty() {
-            collect_suppressions(comment, idx + 1, &mut suppressions);
-        }
-    }
+    let suppr = SupprIndex::from_lex(&lex);
     let test_boundary = find_test_boundary(&lex.tokens);
-    Prepared { lex, suppressions, test_boundary }
+    Prepared { lex, suppr, test_boundary }
 }
 
 /// Finds the line of the first `#[cfg(test)]` attribute in the stream.
@@ -120,6 +156,9 @@ pub fn normalize_rule(raw: &str) -> String {
         "lock-discipline" | "locks" => "r11".into(),
         "rng-provenance" | "rng-escape" => "r12".into(),
         "panic-reach" | "reachable-panics" => "r13".into(),
+        "nondet-taint" | "taint" => "r14".into(),
+        "discarded-effects" | "dropped-result" => "r15".into(),
+        "lock-across-await" | "guard-span" => "r16".into(),
         _ => key,
     }
 }
@@ -127,18 +166,18 @@ pub fn normalize_rule(raw: &str) -> String {
 /// True when `line_no` (1-based) is covered by a suppression for `rule`:
 /// either an annotation on the line itself or one on an immediately
 /// preceding comment-only line.
-pub fn is_suppressed(prepared: &Prepared, rule: &str, line_no: usize) -> bool {
-    find_suppression(prepared, rule, line_no).is_some()
+pub fn is_suppressed(suppr: &SupprIndex, rule: &str, line_no: usize) -> bool {
+    find_suppression(suppr, rule, line_no).is_some()
 }
 
 /// As [`is_suppressed`], returning the matching annotation.
 pub fn find_suppression<'p>(
-    prepared: &'p Prepared,
+    suppr: &'p SupprIndex,
     rule: &str,
     line_no: usize,
 ) -> Option<&'p Suppression> {
     let hit = |l: usize| {
-        prepared
+        suppr
             .suppressions
             .iter()
             .find(|s| s.line == l && s.rule == rule)
@@ -151,13 +190,13 @@ pub fn find_suppression<'p>(
     let mut l = line_no;
     while l > 1 {
         l -= 1;
-        if prepared.lex.code_on(l) {
+        if suppr.code_on(l) {
             break;
         }
         if let Some(s) = hit(l) {
             return Some(s);
         }
-        if prepared.lex.comment_on(l).is_empty() {
+        if !suppr.comment_on(l) {
             break;
         }
     }
@@ -171,51 +210,51 @@ mod tests {
     #[test]
     fn parses_suppression_with_reason() {
         let p = prepare("map.iter(); // hetlint: allow(r3) — sorted below\n");
-        assert_eq!(p.suppressions.len(), 1);
-        assert_eq!(p.suppressions[0].rule, "r3");
-        assert_eq!(p.suppressions[0].reason, "sorted below");
-        assert!(is_suppressed(&p, "r3", 1));
-        assert!(!is_suppressed(&p, "r1", 1));
+        assert_eq!(p.suppr.suppressions.len(), 1);
+        assert_eq!(p.suppr.suppressions[0].rule, "r3");
+        assert_eq!(p.suppr.suppressions[0].reason, "sorted below");
+        assert!(is_suppressed(&p.suppr, "r3", 1));
+        assert!(!is_suppressed(&p.suppr, "r1", 1));
     }
 
     #[test]
     fn suppression_on_preceding_comment_line() {
         let src = "// hetlint: allow(r4) — bounded by scope\nthread::spawn(f);\n";
         let p = prepare(src);
-        assert!(is_suppressed(&p, "r4", 2));
+        assert!(is_suppressed(&p.suppr, "r4", 2));
     }
 
     #[test]
     fn suppression_does_not_leak_past_code() {
         let src = "// hetlint: allow(r4) — first only\nthread::spawn(f);\nthread::spawn(g);\n";
         let p = prepare(src);
-        assert!(is_suppressed(&p, "r4", 2));
-        assert!(!is_suppressed(&p, "r4", 3));
+        assert!(is_suppressed(&p.suppr, "r4", 2));
+        assert!(!is_suppressed(&p.suppr, "r4", 3));
     }
 
     #[test]
     fn blank_line_ends_the_attached_comment_block() {
         let src = "// hetlint: allow(r4) — detached\n\nthread::spawn(f);\n";
         let p = prepare(src);
-        assert!(!is_suppressed(&p, "r4", 3));
+        assert!(!is_suppressed(&p.suppr, "r4", 3));
     }
 
     #[test]
     fn suppression_inside_string_does_not_suppress() {
         let src = "let s = \"// hetlint: allow(r1) — nope\";\n";
         let p = prepare(src);
-        assert!(p.suppressions.is_empty());
+        assert!(p.suppr.suppressions.is_empty());
     }
 
     #[test]
     fn backticked_mention_is_documentation_not_annotation() {
         let src = "// see `hetlint: allow(r5)` for the syntax\nx.unwrap();\n";
         let p = prepare(src);
-        assert!(p.suppressions.is_empty());
+        assert!(p.suppr.suppressions.is_empty());
         // But a genuine annotation after an even number of ticks parses.
         let src2 = "// `ratchet` note — hetlint: allow(r5) — invariant abort\nx.unwrap();\n";
         let p2 = prepare(src2);
-        assert_eq!(p2.suppressions.len(), 1);
+        assert_eq!(p2.suppr.suppressions.len(), 1);
     }
 
     #[test]

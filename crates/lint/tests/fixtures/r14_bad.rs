@@ -1,0 +1,14 @@
+//! R14 bad: a wall-clock read and hash-iteration order each flow
+//! through one binding into a trace/seed sink.
+
+fn stamp(tracer: &Tracer) {
+    let t = SystemTime::now();
+    let label = wrap(t);
+    tracer.emit(kinds::TASK_DONE, label);
+}
+
+fn correlate(master: &SimRng) {
+    let pending = HashMap::new();
+    let name = pending.keys();
+    let rng = SimRng::stream(master, name);
+}

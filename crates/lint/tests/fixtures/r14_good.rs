@@ -1,0 +1,13 @@
+//! R14 good: the same sinks fed from deterministic inputs — virtual
+//! time and a configured stream name.
+
+fn stamp(sim: &Sim, tracer: &Tracer) {
+    let t = sim.now();
+    let label = wrap(t);
+    tracer.emit(kinds::TASK_DONE, label);
+}
+
+fn correlate(master: &SimRng) {
+    let name = configured_name();
+    let rng = SimRng::stream(master, name);
+}

@@ -1,0 +1,8 @@
+//! R15 bad: the Result of a fabric-effect send is discarded, on a
+//! branch-guarded path.
+
+fn relay(inner: &Inner, task: Task, urgent: bool) {
+    if urgent {
+        let _ = inner.tasks.send_now(task);
+    }
+}

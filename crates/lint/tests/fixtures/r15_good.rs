@@ -1,0 +1,11 @@
+//! R15 good: fabric-effect Results are propagated; discarding a
+//! non-effect Result is not R15's business.
+
+fn relay(inner: &Inner, task: Task) -> Result<(), SendError> {
+    inner.tasks.send_now(task)?;
+    Ok(())
+}
+
+fn observe(inner: &Inner) {
+    let _ = inner.metrics.snapshot();
+}

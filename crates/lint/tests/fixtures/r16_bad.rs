@@ -1,0 +1,15 @@
+//! R16 bad: one guard live across an `.await`, another across a
+//! blocking Condvar wait.
+
+impl Pump {
+    async fn drain(&self) {
+        let g = self.state.lock();
+        self.tick().await;
+        drop(g);
+    }
+
+    fn flush(&self) {
+        let g = self.state.lock();
+        self.cv.wait(g);
+    }
+}

@@ -1,0 +1,20 @@
+//! R16 good: every path drops its guard before any suspension point,
+//! including the early-return branch.
+
+impl Pump {
+    async fn drain(&self) {
+        let g = self.state.lock();
+        let next = peek(g);
+        drop(g);
+        self.tick().await;
+    }
+
+    fn flush(&self) {
+        let g = self.state.lock();
+        if is_empty(g) {
+            return;
+        }
+        drop(g);
+        self.park();
+    }
+}

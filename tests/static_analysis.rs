@@ -5,13 +5,15 @@
 //! as an integration test so a wall-clock read, ambient entropy source,
 //! hash-order iteration, stray thread spawn, unwrap-budget overrun,
 //! ad-hoc float ordering, seed-stream name collision (R7), trace-kind
-//! registry drift (R8), stale suppression (R9), or any interprocedural
-//! finding — ambient I/O reachable from the simulation (R10), a guard
-//! held across a blocking call (R11), a SimRng crossing a thread
-//! boundary (R12), a panic site reachable from fabric dispatch over
-//! budget (R13) — fails `cargo test` directly. See DESIGN.md
-//! "Determinism rules" for the rule catalogue and the
-//! `// hetlint: allow(<rule>) — <reason>` suppression syntax.
+//! registry drift (R8), stale suppression (R9), any interprocedural
+//! finding — ambient I/O reachable from the simulation (R10), inverted
+//! lock orders (R11), a SimRng crossing a thread boundary (R12), a
+//! panic site reachable from fabric dispatch over budget (R13) — or
+//! any dataflow finding — nondeterminism taint reaching a trace/seed
+//! sink (R14), a discarded fabric-effect Result (R15), a guard live on
+//! a CFG path to a suspension point (R16) — fails `cargo test`
+//! directly. See DESIGN.md "Determinism rules" for the rule catalogue
+//! and the `// hetlint: allow(<rule>) — <reason>` suppression syntax.
 
 use std::path::Path;
 
@@ -97,6 +99,107 @@ fn reachable_panics_ratchet_is_enforced_on_the_real_tree() {
          reachable-panics budget of {budget} (see the R13 witness chains \
          in `cargo run -p hetflow-lint`)"
     );
+}
+
+#[test]
+fn r14_and_r15_ratchets_are_enforced_on_the_real_tree() {
+    // Dataflow accounting: the reserved `r14`/`r15` keys must be
+    // present in hetlint.ratchet, and the real workspace must sit at
+    // or under both. A new tainted flow or discarded effect fails here
+    // with its hop chain, not in some later CI stage.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let budgets = hetflow_lint::ratchet::load(root).expect("hetlint.ratchet must load");
+    let report = hetflow_lint::run(root).expect("workspace walk failed");
+    let (taint, taint_budget) = report.nondet_taint.expect("the dataflow phase must run");
+    assert_eq!(taint_budget, budgets.nondet_taint, "report uses the ratchet's r14 budget");
+    assert!(
+        taint <= taint_budget,
+        "{taint} nondeterminism-taint flows exceed the r14 budget of {taint_budget} \
+         (see the hop chains in `cargo run -p hetflow-lint`)"
+    );
+    let (discards, discard_budget) =
+        report.discarded_effects.expect("the dataflow phase must run");
+    assert_eq!(
+        discard_budget, budgets.discarded_effects,
+        "report uses the ratchet's r15 budget"
+    );
+    assert!(
+        discards <= discard_budget,
+        "{discards} discarded fabric effects exceed the r15 budget of {discard_budget} \
+         (see the entry paths in `cargo run -p hetflow-lint`)"
+    );
+}
+
+#[test]
+fn dataflow_json_of_real_workspace_round_trips() {
+    // The CI artifact is `hetlint --dataflow`; this is the same
+    // serialize→parse round trip over the real tree, plus a pin that
+    // the summaries actually span the workspace.
+    use hetflow_lint::json;
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let out = hetflow_lint::run_all(root).expect("workspace walk failed");
+    assert!(
+        out.dataflow.fns.len() > 300,
+        "summary table too small: {} fns",
+        out.dataflow.fns.len()
+    );
+    let doc = json::dataflow_to_json(&out.dataflow);
+    let v = json::parse(&doc).expect("dataflow JSON must parse");
+    assert_eq!(
+        v.get("tool").and_then(json::Value::as_str),
+        Some("hetlint-dataflow")
+    );
+    assert_eq!(v.get("schema_version").and_then(json::Value::as_u64), Some(4));
+    let fns = v.get("functions").and_then(json::Value::as_arr).expect("functions array");
+    assert_eq!(fns.len(), out.dataflow.fns.len());
+    let findings = v.get("findings").and_then(json::Value::as_arr).expect("findings array");
+    assert_eq!(findings.len(), out.dataflow.findings.len());
+    // The four reasoned allow(r15) teardown discards stay visible in
+    // the artifact, marked suppressed.
+    let suppressed = findings
+        .iter()
+        .filter(|f| f.get("suppressed").and_then(json::Value::as_bool) == Some(true))
+        .count();
+    assert!(
+        suppressed >= 4,
+        "teardown allow(r15) sites missing from the artifact: {suppressed}"
+    );
+}
+
+#[test]
+fn warm_cache_run_reproduces_the_cold_run_exactly() {
+    // The incremental cache must be invisible in the output: a cold
+    // run (all misses) and a warm run (all hits) over the same tree
+    // serialize to byte-identical reports.
+    use hetflow_lint::{cache, json};
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let dir = root.join("target").join(format!(
+        "hetlint-cache-gate-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (cold, cold_stats) =
+        hetflow_lint::run_all_cached(root, Some(&dir)).expect("cold run failed");
+    assert_eq!(cold_stats.hits, 0, "first run over an empty cache cannot hit");
+    assert!(cold_stats.misses > 50, "walk found too few files");
+    let (warm, warm_stats) =
+        hetflow_lint::run_all_cached(root, Some(&dir)).expect("warm run failed");
+    assert_eq!(
+        warm_stats,
+        cache::CacheStats { hits: cold_stats.misses, misses: 0 },
+        "second run must be served entirely from the cache"
+    );
+    assert_eq!(
+        json::report_to_json(&cold.report),
+        json::report_to_json(&warm.report),
+        "cache changed the report"
+    );
+    assert_eq!(
+        json::dataflow_to_json(&cold.dataflow),
+        json::dataflow_to_json(&warm.dataflow),
+        "cache changed the dataflow document"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
