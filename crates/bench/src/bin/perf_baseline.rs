@@ -1,24 +1,35 @@
 //! Perf baseline: emits `BENCH_hetflow.json`, the one artifact CI
 //! tracks for throughput regressions across PRs.
 //!
-//! Three probes, all cheap enough for every CI run:
+//! Schema v3 probes, all cheap enough for every CI run:
 //!
 //! - `events_per_sec` — raw DES churn: a few hundred interleaved
 //!   sleepers hammer the timer wheel; timer fires per wall second.
 //! - `tasks_per_sec` — end-to-end no-op campaign through the FnX
 //!   fabric (the Fig. 3 §V-C1 wiring): completed tasks per wall
 //!   second, including steering-queue and store hops.
+//! - `channel_ops_per_sec` — message deliveries per wall second
+//!   through the pooled-waker channel (producer/consumer ping).
+//! - `store_ops_per_sec` — put+get round trips per wall second
+//!   against the arena-backed object store.
+//! - `campaign_tasks_per_sec` — a small proxied campaign (Redis
+//!   store, 100 kB payloads): the *real* lifecycle with store puts
+//!   and proxy resolves, not just control-plane no-ops.
 //! - `peak_rss_kb` — the `VmHWM` high-water mark from
 //!   `/proc/self/status`. On platforms without procfs the field is
 //!   `null`, never a silent `0`: a zero would read as "no memory
 //!   used" to a regression gate, while `null` plus the companion
 //!   `rss_source` field says "not measured here".
 //!
+//! Every throughput probe reports its best of three runs (minimum
+//! wall time), so one scheduler hiccup on a shared CI runner does not
+//! masquerade as a regression.
+//!
 //! Wall-clock reads are legal here: hetlint R1 scopes to sim-driven
 //! crates, and `bench` is a driver, not a simulation actor.
 //!
 //! Usage: `perf_baseline [output.json] [--compare committed.json]`.
-//! With `--compare`, the run exits nonzero when either throughput rate
+//! With `--compare`, the run exits nonzero when any gated rate
 //! regresses more than 30% against the committed baseline — wide
 //! enough that shared-runner noise passes, narrow enough that an
 //! accidental O(n) slip in the kernel does not. The JSON is also
@@ -28,11 +39,25 @@
 use std::time::{Duration, Instant};
 
 use hetflow_bench::{NoopPipeline, StoreKind};
-use hetflow_sim::Sim;
+use hetflow_sim::{channel, Sim};
 
 /// Regression gate: fail `--compare` when a rate drops below this
 /// fraction of the committed baseline.
 const COMPARE_FLOOR: f64 = 0.70;
+
+/// Runs `probe` three times and returns the fastest run (count,
+/// minimum wall seconds): best-of-3 keeps one scheduler hiccup on a
+/// shared runner from reading as a regression.
+fn best_of_3<C: Copy>(mut probe: impl FnMut() -> (C, f64)) -> (C, f64) {
+    let mut best = probe();
+    for _ in 0..2 {
+        let run = probe();
+        if run.1 < best.1 {
+            best = run;
+        }
+    }
+    best
+}
 
 /// Timer-wheel churn: `sleepers` tasks each awaiting `rounds` staggered
 /// timers. Returns (timer fires, wall seconds).
@@ -62,6 +87,82 @@ fn noop_campaign(n_tasks: usize) -> (usize, f64) {
     (breakdown.count, start.elapsed().as_secs_f64())
 }
 
+/// Channel throughput: one producer streams `n_msgs` values to one
+/// consumer through the pooled-waker channel, with the consumer
+/// parked between sends so every delivery exercises the waker slot.
+/// Returns (messages delivered, wall seconds).
+fn channel_churn(n_msgs: usize) -> (usize, f64) {
+    let start = Instant::now();
+    let sim = Sim::new();
+    let (tx, rx) = channel::<usize>();
+    let sim2 = sim.clone();
+    sim.spawn(async move {
+        for i in 0..n_msgs {
+            // A 1 µs gap per message forces the receiver to park and
+            // re-register its waker slot every iteration — the
+            // register/wake/release cycle is exactly what we measure.
+            sim2.sleep(Duration::from_micros(1)).await;
+            let _ = tx.send_now(i);
+        }
+    });
+    let h = sim.spawn(async move {
+        let mut got = 0usize;
+        while rx.recv().await.is_some() {
+            got += 1;
+        }
+        got
+    });
+    let got = sim.block_on(h);
+    (got, start.elapsed().as_secs_f64())
+}
+
+/// Store object churn: `n_ops` put+get round trips against an
+/// Fs-model store (arena-backed object table, count-based eviction so
+/// slots recycle). Returns (round trips, wall seconds).
+fn store_churn(n_ops: usize) -> (usize, f64) {
+    use hetflow_store::{Backend, EvictionPolicy, FsParams, SiteId, SiteSet, Store};
+    use std::rc::Rc;
+    let start = Instant::now();
+    let sim = Sim::new();
+    let site = SiteId(0);
+    let store = Store::new(
+        sim.clone(),
+        "bench-fs",
+        Backend::Fs(FsParams {
+            members: SiteSet::of(&[site]),
+            op_latency: hetflow_sim::Dist::Constant(0.0001),
+            write_bandwidth: 1e9,
+            read_bandwidth: 1e9,
+        }),
+        hetflow_sim::SimRng::from_seed(7),
+    );
+    store.set_eviction(EvictionPolicy::AfterResolves(1));
+    let s = store.clone();
+    let h = sim.spawn(async move {
+        let value: Rc<dyn std::any::Any> = Rc::new(());
+        let mut done = 0usize;
+        for _ in 0..n_ops {
+            let Ok(key) = s.put_raw(Rc::clone(&value), 1_000, site).await else { break };
+            if s.get_raw(key, site).await.is_err() {
+                break;
+            }
+            done += 1;
+        }
+        done
+    });
+    let done = sim.block_on(h);
+    (done, start.elapsed().as_secs_f64())
+}
+
+/// A small *proxied* campaign: 100 kB payloads auto-proxied through a
+/// Redis-model store — store puts, proxy resolves, result envelopes,
+/// the full data-plane lifecycle. Returns (tasks, wall seconds).
+fn proxied_campaign(n_tasks: usize) -> (usize, f64) {
+    let start = Instant::now();
+    let breakdown = NoopPipeline::fig3(StoreKind::Redis).run(100_000, n_tasks);
+    (breakdown.count, start.elapsed().as_secs_f64())
+}
+
 /// `VmHWM` in kB from procfs; `None` when the platform has no procfs
 /// (or the field is missing) so the artifact says "unmeasured" instead
 /// of masquerading as a 0 kB process.
@@ -82,19 +183,81 @@ fn rate(count: u64, secs: f64) -> f64 {
     count as f64 / secs.max(1e-9)
 }
 
-fn render(fires: u64, churn_secs: f64, tasks: usize, campaign_secs: f64, rss_kb: Option<u64>) -> String {
-    let (rss, rss_source) = match rss_kb {
+/// Every measurement the artifact carries.
+struct Measurements {
+    fires: u64,
+    churn_secs: f64,
+    tasks: usize,
+    campaign_secs: f64,
+    channel_msgs: usize,
+    channel_secs: f64,
+    store_ops: usize,
+    store_secs: f64,
+    proxied_tasks: usize,
+    proxied_secs: f64,
+    rss_kb: Option<u64>,
+}
+
+impl Measurements {
+    fn events_per_sec(&self) -> f64 {
+        rate(self.fires, self.churn_secs)
+    }
+    fn tasks_per_sec(&self) -> f64 {
+        rate(self.tasks as u64, self.campaign_secs)
+    }
+    fn channel_ops_per_sec(&self) -> f64 {
+        rate(self.channel_msgs as u64, self.channel_secs)
+    }
+    fn store_ops_per_sec(&self) -> f64 {
+        rate(self.store_ops as u64, self.store_secs)
+    }
+    fn campaign_tasks_per_sec(&self) -> f64 {
+        rate(self.proxied_tasks as u64, self.proxied_secs)
+    }
+
+    /// The `(key, value)` pairs the `--compare` gate checks.
+    fn gated_rates(&self) -> [(&'static str, f64); 5] {
+        [
+            ("events_per_sec", self.events_per_sec()),
+            ("tasks_per_sec", self.tasks_per_sec()),
+            ("channel_ops_per_sec", self.channel_ops_per_sec()),
+            ("store_ops_per_sec", self.store_ops_per_sec()),
+            ("campaign_tasks_per_sec", self.campaign_tasks_per_sec()),
+        ]
+    }
+}
+
+fn render(m: &Measurements) -> String {
+    let (rss, rss_source) = match m.rss_kb {
         Some(v) => (v.to_string(), "procfs"),
         None => ("null".to_string(), "unavailable"),
     };
     format!(
-        "{{\n  \"tool\": \"hetflow-bench\",\n  \"schema_version\": 2,\n  \
+        "{{\n  \"tool\": \"hetflow-bench\",\n  \"schema_version\": 3,\n  \
          \"events_per_sec\": {:.0},\n  \"tasks_per_sec\": {:.1},\n  \
+         \"channel_ops_per_sec\": {:.0},\n  \"store_ops_per_sec\": {:.0},\n  \
+         \"campaign_tasks_per_sec\": {:.1},\n  \
          \"peak_rss_kb\": {rss},\n  \"rss_source\": \"{rss_source}\",\n  \"detail\": {{\n    \
-         \"timer_fires\": {fires},\n    \"timer_wall_secs\": {churn_secs:.4},\n    \
-         \"noop_tasks\": {tasks},\n    \"noop_wall_secs\": {campaign_secs:.4}\n  }}\n}}\n",
-        rate(fires, churn_secs),
-        rate(tasks as u64, campaign_secs),
+         \"timer_fires\": {},\n    \"timer_wall_secs\": {:.4},\n    \
+         \"noop_tasks\": {},\n    \"noop_wall_secs\": {:.4},\n    \
+         \"channel_msgs\": {},\n    \"channel_wall_secs\": {:.4},\n    \
+         \"store_round_trips\": {},\n    \"store_wall_secs\": {:.4},\n    \
+         \"proxied_tasks\": {},\n    \"proxied_wall_secs\": {:.4}\n  }}\n}}\n",
+        m.events_per_sec(),
+        m.tasks_per_sec(),
+        m.channel_ops_per_sec(),
+        m.store_ops_per_sec(),
+        m.campaign_tasks_per_sec(),
+        m.fires,
+        m.churn_secs,
+        m.tasks,
+        m.campaign_secs,
+        m.channel_msgs,
+        m.channel_secs,
+        m.store_ops,
+        m.store_secs,
+        m.proxied_tasks,
+        m.proxied_secs,
     )
 }
 
@@ -115,9 +278,9 @@ fn json_number(doc: &str, key: &str) -> Option<f64> {
 /// Compares a fresh run against a committed baseline; returns the list
 /// of human-readable gate failures (empty = pass). Missing baseline
 /// fields are a pass — an older-schema artifact must not brick CI.
-fn compare(baseline: &str, events_per_sec: f64, tasks_per_sec: f64) -> Vec<String> {
+fn compare(baseline: &str, rates: &[(&str, f64)]) -> Vec<String> {
     let mut failures = Vec::new();
-    for (key, got) in [("events_per_sec", events_per_sec), ("tasks_per_sec", tasks_per_sec)] {
+    for &(key, got) in rates {
         let Some(want) = json_number(baseline, key) else { continue };
         if want <= 0.0 {
             continue;
@@ -158,11 +321,26 @@ fn main() -> std::process::ExitCode {
         }
     }
 
-    let (fires, churn_secs) = timer_churn(200, 200);
-    let (tasks, campaign_secs) = noop_campaign(300);
-    let rss_kb = peak_rss_kb();
+    let (fires, churn_secs) = best_of_3(|| timer_churn(200, 200));
+    let (tasks, campaign_secs) = best_of_3(|| noop_campaign(300));
+    let (channel_msgs, channel_secs) = best_of_3(|| channel_churn(50_000));
+    let (store_ops, store_secs) = best_of_3(|| store_churn(20_000));
+    let (proxied_tasks, proxied_secs) = best_of_3(|| proxied_campaign(150));
+    let m = Measurements {
+        fires,
+        churn_secs,
+        tasks,
+        campaign_secs,
+        channel_msgs,
+        channel_secs,
+        store_ops,
+        store_secs,
+        proxied_tasks,
+        proxied_secs,
+        rss_kb: peak_rss_kb(),
+    };
 
-    let doc = render(fires, churn_secs, tasks, campaign_secs, rss_kb);
+    let doc = render(&m);
     print!("{doc}");
     if let Err(e) = std::fs::write(&out_path, &doc) {
         eprintln!("perf_baseline: cannot write {out_path}: {e}");
@@ -178,8 +356,7 @@ fn main() -> std::process::ExitCode {
                 return std::process::ExitCode::from(2);
             }
         };
-        let failures =
-            compare(&baseline, rate(fires, churn_secs), rate(tasks as u64, campaign_secs));
+        let failures = compare(&baseline, &m.gated_rates());
         if !failures.is_empty() {
             for f in &failures {
                 eprintln!("perf_baseline: FAIL: {f}");
@@ -195,6 +372,22 @@ fn main() -> std::process::ExitCode {
 mod tests {
     use super::*;
 
+    fn sample() -> Measurements {
+        Measurements {
+            fires: 100,
+            churn_secs: 0.5,
+            tasks: 10,
+            campaign_secs: 0.25,
+            channel_msgs: 500,
+            channel_secs: 0.1,
+            store_ops: 300,
+            store_secs: 0.2,
+            proxied_tasks: 20,
+            proxied_secs: 0.4,
+            rss_kb: Some(4096),
+        }
+    }
+
     #[test]
     fn churn_fires_every_timer() {
         let (fires, _) = timer_churn(10, 10);
@@ -208,6 +401,32 @@ mod tests {
     }
 
     #[test]
+    fn channel_probe_delivers_every_message() {
+        let (got, _) = channel_churn(100);
+        assert_eq!(got, 100);
+    }
+
+    #[test]
+    fn store_probe_round_trips_every_op() {
+        let (done, _) = store_churn(50);
+        assert_eq!(done, 50);
+    }
+
+    #[test]
+    fn proxied_campaign_completes_every_task() {
+        let (tasks, _) = proxied_campaign(3);
+        assert_eq!(tasks, 3);
+    }
+
+    #[test]
+    fn best_of_3_keeps_fastest_run() {
+        let mut walls = [0.9, 0.2, 0.5].into_iter();
+        let (count, secs) = best_of_3(|| (1u64, walls.next().unwrap()));
+        assert_eq!(count, 1);
+        assert_eq!(secs, 0.2);
+    }
+
+    #[test]
     fn rss_probe_never_fails() {
         // Either a real VmHWM or the None sentinel; both keep the schema.
         let _ = peak_rss_kb();
@@ -215,16 +434,22 @@ mod tests {
 
     #[test]
     fn artifact_shape_is_stable() {
-        let doc = render(100, 0.5, 10, 0.25, Some(4096));
+        let doc = render(&sample());
         for key in [
             "\"tool\": \"hetflow-bench\"",
-            "\"schema_version\": 2",
+            "\"schema_version\": 3",
             "\"events_per_sec\": 200",
             "\"tasks_per_sec\": 40.0",
+            "\"channel_ops_per_sec\": 5000",
+            "\"store_ops_per_sec\": 1500",
+            "\"campaign_tasks_per_sec\": 50.0",
             "\"peak_rss_kb\": 4096",
             "\"rss_source\": \"procfs\"",
             "\"timer_fires\": 100",
             "\"noop_tasks\": 10",
+            "\"channel_msgs\": 500",
+            "\"store_round_trips\": 300",
+            "\"proxied_tasks\": 20",
         ] {
             assert!(doc.contains(key), "missing {key} in {doc}");
         }
@@ -232,7 +457,9 @@ mod tests {
 
     #[test]
     fn missing_rss_renders_null_sentinel() {
-        let doc = render(100, 0.5, 10, 0.25, None);
+        let mut m = sample();
+        m.rss_kb = None;
+        let doc = render(&m);
         assert!(doc.contains("\"peak_rss_kb\": null"), "null sentinel in {doc}");
         assert!(doc.contains("\"rss_source\": \"unavailable\""), "source tag in {doc}");
         assert!(!doc.contains("\"peak_rss_kb\": 0"), "never a silent zero");
@@ -245,29 +472,44 @@ mod tests {
 
     #[test]
     fn json_number_reads_artifact_fields() {
-        let doc = render(100, 0.5, 10, 0.25, None);
+        let mut m = sample();
+        m.rss_kb = None;
+        let doc = render(&m);
         assert_eq!(json_number(&doc, "events_per_sec"), Some(200.0));
         assert_eq!(json_number(&doc, "tasks_per_sec"), Some(40.0));
+        assert_eq!(json_number(&doc, "channel_ops_per_sec"), Some(5000.0));
+        assert_eq!(json_number(&doc, "store_ops_per_sec"), Some(1500.0));
+        assert_eq!(json_number(&doc, "campaign_tasks_per_sec"), Some(50.0));
         // The null sentinel is "absent" to the gate, not 0.
         assert_eq!(json_number(&doc, "peak_rss_kb"), None);
         assert_eq!(json_number(&doc, "no_such_key"), None);
     }
 
     #[test]
-    fn compare_passes_within_floor_and_fails_beyond() {
-        let baseline = render(1000, 1.0, 100, 1.0, Some(1)); // 1000 ev/s, 100 t/s
-        assert!(compare(&baseline, 1000.0, 100.0).is_empty(), "equal passes");
-        assert!(compare(&baseline, 750.0, 80.0).is_empty(), "noise passes");
-        let failures = compare(&baseline, 600.0, 100.0);
-        assert_eq!(failures.len(), 1, "40% events drop fails: {failures:?}");
-        assert!(failures[0].contains("events_per_sec"));
-        let failures = compare(&baseline, 1000.0, 50.0);
-        assert_eq!(failures.len(), 1, "50% tasks drop fails: {failures:?}");
+    fn compare_gates_every_schema_v3_rate() {
+        let baseline = render(&sample());
+        let good = sample().gated_rates();
+        assert!(compare(&baseline, &good).is_empty(), "equal passes");
+        for i in 0..good.len() {
+            let mut dropped = good;
+            dropped[i].1 *= 0.5; // well below the 70% floor
+            let failures = compare(&baseline, &dropped);
+            assert_eq!(failures.len(), 1, "{} drop fails: {failures:?}", good[i].0);
+            assert!(failures[0].contains(good[i].0));
+            let mut noisy = good;
+            noisy[i].1 *= 0.8; // within the floor
+            assert!(compare(&baseline, &noisy).is_empty(), "{} noise passes", good[i].0);
+        }
     }
 
     #[test]
     fn compare_tolerates_older_schema_baselines() {
-        // A baseline missing the rate keys gates nothing.
-        assert!(compare("{\"schema_version\": 1}", 10.0, 10.0).is_empty());
+        // A v2 baseline missing the new keys gates only what it has.
+        let v2 = "{\"schema_version\": 2, \"events_per_sec\": 100}";
+        let rates = [("events_per_sec", 100.0), ("channel_ops_per_sec", 5.0)];
+        assert!(compare(v2, &rates).is_empty());
+        assert_eq!(compare(v2, &[("events_per_sec", 50.0)]).len(), 1);
+        // And one missing every rate key gates nothing.
+        assert!(compare("{\"schema_version\": 1}", &rates).is_empty());
     }
 }

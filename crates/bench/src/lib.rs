@@ -197,12 +197,22 @@ impl NoopPipeline {
         let queues = self.build(&sim);
         let q = queues.clone();
         let driver = sim.spawn(async move {
+            // Hoisted out of the loop: the topic symbol, the compute
+            // closure, and the placeholder payload value are shared by
+            // every task instead of re-created per submission.
+            let topic = hetflow_sim::Symbol::intern("noop");
+            let compute: hetflow_fabric::TaskFn = Rc::new(|_| TaskWork::noop());
+            let unit: Rc<dyn std::any::Any> = Rc::new(());
             for _ in 0..n_tasks {
-                q.submit("noop", vec![Payload::new((), size)], Rc::new(|_| TaskWork::noop()))
-                    .await;
+                q.submit(
+                    topic,
+                    [Payload::shared(Rc::clone(&unit), size)],
+                    Rc::clone(&compute),
+                )
+                .await;
                 // Sequential, as in the paper's synthetic experiment: one
                 // task in flight at a time isolates per-task costs.
-                let done = q.get_result("noop").await.expect("result");
+                let done = q.get_result(topic).await.expect("result");
                 done.resolve().await;
             }
         });

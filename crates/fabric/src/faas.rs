@@ -19,9 +19,8 @@ use crate::reliability::chaos::ChaosTargets;
 use crate::reliability::{Knob, RetryPolicies};
 use crate::task::{Arg, TaskError, TaskOutcome, TaskResult, TaskSpec, WorkerReport};
 use crate::worker::{WorkerPool, WorkerPoolConfig};
-use hetflow_sim::{channel, trace_kinds as kinds, Dist, Sender, Sim, SimRng, Symbol, Tracer};
+use hetflow_sim::{channel, trace_kinds as kinds, Dist, Sender, Sim, SimRng, Symbol, SymbolMap, Tracer};
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeMap;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -175,7 +174,7 @@ impl FnXExecutor {
         tracer: Tracer,
         policies: ReliabilityPolicies,
     ) -> FnXExecutor {
-        let mut route: BTreeMap<Symbol, Vec<usize>> = BTreeMap::new();
+        let mut route: SymbolMap<Vec<usize>> = SymbolMap::new();
         let mut pools = Vec::new();
         let mut connectivity = Vec::new();
         let mut retries = Vec::new();
@@ -183,7 +182,7 @@ impl FnXExecutor {
         let mut pool_streams = Vec::new();
         for (i, ep) in endpoints.into_iter().enumerate() {
             for topic in &ep.topics {
-                route.entry(Symbol::intern(topic)).or_default().push(i);
+                route.get_or_insert_with(Symbol::intern(topic), Vec::new).push(i);
             }
             let (pool_res_tx, pool_res_rx) = channel::<TaskResult>();
             retries.push(ep.pool.retry.clone());
@@ -219,10 +218,10 @@ impl FnXExecutor {
         // One return-path actor per endpoint.
         for (i, rx) in pool_streams.into_iter().enumerate() {
             let inner2 = Rc::clone(&inner);
-            sim.spawn(async move {
+            sim.spawn_detached(async move {
                 while let Some(result) = rx.recv().await {
                     let inner3 = Rc::clone(&inner2);
-                    inner2.sim.spawn(async move {
+                    inner2.sim.spawn_detached(async move {
                         FnXExecutor::return_result(inner3, result, i).await;
                     });
                 }
@@ -298,7 +297,7 @@ impl FnXExecutor {
                     // Boxed to break the deliver → deliver type cycle.
                     let redo: Pin<Box<dyn Future<Output = ()>>> =
                         Box::pin(Self::deliver(inner2, *spec, to));
-                    inner.sim.spawn(redo);
+                    inner.sim.spawn_detached(redo);
                 }
                 TimeoutVerdict::Suppress => {}
                 TimeoutVerdict::Fail => {
@@ -311,7 +310,7 @@ impl FnXExecutor {
                     let result = TaskResult {
                         id,
                         topic,
-                        output: Arg::inline((), 0),
+                        output: Arg::empty(),
                         input_bytes,
                         report: WorkerReport::default(),
                         timing,
@@ -415,14 +414,14 @@ impl Fabric for FnXExecutor {
             // result wins; the layer cancels the loser).
             if let Some(delay) = inner.health.hedge_delay(topic) {
                 let inner2 = Rc::clone(inner);
-                inner.sim.spawn(async move {
+                inner.sim.spawn_detached(async move {
                     loop {
                         inner2.sim.sleep(delay).await;
                         let Some((spec, to)) = inner2.health.try_hedge(id, topic) else {
                             break;
                         };
                         let inner3 = Rc::clone(&inner2);
-                        inner2.sim.spawn(async move {
+                        inner2.sim.spawn_detached(async move {
                             FnXExecutor::deliver(inner3, spec, to).await;
                         });
                     }
@@ -433,7 +432,7 @@ impl Fabric for FnXExecutor {
             // copies still in flight are cancelled as they surface.
             if let Some(dl) = inner.health.deadline(topic) {
                 let inner2 = Rc::clone(inner);
-                inner.sim.spawn(async move {
+                inner.sim.spawn_detached(async move {
                     inner2.sim.sleep(dl).await;
                     if inner2.health.expire(id) {
                         let now = inner2.sim.now();
@@ -446,7 +445,7 @@ impl Fabric for FnXExecutor {
                         let result = TaskResult {
                             id,
                             topic,
-                            output: Arg::inline((), 0),
+                            output: Arg::empty(),
                             input_bytes,
                             report: WorkerReport::default(),
                             timing,
@@ -459,7 +458,7 @@ impl Fabric for FnXExecutor {
                 });
             }
             let inner2 = Rc::clone(inner);
-            inner.sim.spawn(async move {
+            inner.sim.spawn_detached(async move {
                 FnXExecutor::deliver(inner2, task, endpoint).await;
             });
         })
@@ -684,7 +683,7 @@ mod tests {
                     max_reroutes: 1,
                     ..Default::default()
                 },
-                per_topic: BTreeMap::new(),
+                per_topic: SymbolMap::new(),
             },
         );
         let e = exec.clone();
@@ -737,7 +736,7 @@ mod tests {
                     },
                     ..Default::default()
                 },
-                per_topic: BTreeMap::new(),
+                per_topic: SymbolMap::new(),
             },
         );
         let s = sim.clone();
@@ -794,7 +793,7 @@ mod tests {
                     },
                     ..Default::default()
                 },
-                per_topic: BTreeMap::new(),
+                per_topic: SymbolMap::new(),
             },
         );
         let e = exec.clone();

@@ -23,7 +23,7 @@
 
 use crate::reliability::Connectivity;
 use crate::task::{TaskId, TaskSpec};
-use hetflow_sim::{trace_kinds as kinds, Samples, Sim, SimTime, Symbol, Tracer};
+use hetflow_sim::{trace_kinds as kinds, Samples, Sim, SimTime, Symbol, SymbolMap, Tracer};
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -157,10 +157,11 @@ impl ReliabilityPolicy {
 pub struct ReliabilityPolicies {
     /// Policy for topics without a dedicated entry.
     pub default: ReliabilityPolicy,
-    /// Topic-specific overrides. Keyed by interned [`Symbol`]; symbols
-    /// order by their resolved string, so iteration matches the old
+    /// Topic-specific overrides. Indexed by interned [`Symbol`] id —
+    /// O(1) per dispatch-path lookup — while iterating in
+    /// resolved-string order, so traces match the old
     /// `BTreeMap<String, _>` exactly.
-    pub per_topic: BTreeMap<Symbol, ReliabilityPolicy>,
+    pub per_topic: SymbolMap<ReliabilityPolicy>,
 }
 
 impl ReliabilityPolicies {
@@ -172,7 +173,7 @@ impl ReliabilityPolicies {
 
     /// The policy governing `topic`.
     pub fn policy_for(&self, topic: impl Into<Symbol>) -> &ReliabilityPolicy {
-        self.per_topic.get(&topic.into()).unwrap_or(&self.default)
+        self.per_topic.get(topic.into()).unwrap_or(&self.default)
     }
 }
 
@@ -276,12 +277,14 @@ struct LayerInner {
     /// Pre-interned `"<label>/health"` trace actor.
     actor: Symbol,
     policies: ReliabilityPolicies,
-    /// Topic → candidate endpoints, primary first.
-    route: BTreeMap<Symbol, Vec<usize>>,
+    /// Topic → candidate endpoints, primary first. Symbol-indexed:
+    /// the per-dispatch lookup is an array index, not a string-compare
+    /// tree walk.
+    route: SymbolMap<Vec<usize>>,
     endpoints: Vec<EndpointHealth>,
     inflight: RefCell<BTreeMap<TaskId, Inflight>>,
     /// Per-topic round-trip latency samples feeding hedge delays.
-    rtt: RefCell<BTreeMap<Symbol, Samples>>,
+    rtt: RefCell<SymbolMap<Samples>>,
     /// Seconds burned by cancelled losing copies.
     wasted: Cell<f64>,
     cancelled: Cell<u64>,
@@ -315,7 +318,7 @@ impl ReliabilityLayer {
         tracer: Tracer,
         label: &'static str,
         policies: ReliabilityPolicies,
-        route: BTreeMap<Symbol, Vec<usize>>,
+        route: SymbolMap<Vec<usize>>,
         connectivity: &[Connectivity],
     ) -> Self {
         let n = route.values().flat_map(|c| c.iter()).fold(0, |m, &e| m.max(e + 1));
@@ -330,7 +333,7 @@ impl ReliabilityLayer {
                 route,
                 endpoints,
                 inflight: RefCell::new(BTreeMap::new()),
-                rtt: RefCell::new(BTreeMap::new()),
+                rtt: RefCell::new(SymbolMap::new()),
                 wasted: Cell::new(0.0),
                 cancelled: Cell::new(0),
                 hedged: Cell::new(0),
@@ -378,7 +381,7 @@ impl ReliabilityLayer {
 
     /// Candidate endpoints for `topic`, primary first.
     pub fn candidates(&self, topic: impl Into<Symbol>) -> Option<&[usize]> {
-        self.inner.route.get(&topic.into()).map(|v| v.as_slice())
+        self.inner.route.get(topic.into()).map(|v| v.as_slice())
     }
 
     /// Registers a dispatch and picks the endpoint: the first
@@ -388,8 +391,8 @@ impl ReliabilityLayer {
     /// for the topic this is exactly the PR-2 primary-only routing and
     /// touches no breaker state.
     pub fn admit(&self, task: &TaskSpec) -> Option<usize> {
-        let policy = self.policy(task.topic).clone();
-        let candidates = self.inner.route.get(&task.topic)?;
+        let policy = self.policy(task.topic);
+        let candidates = self.inner.route.get(task.topic)?;
         let endpoint = if policy.breaker.enabled() {
             self.pick(task.id, candidates)
         } else {
@@ -446,7 +449,7 @@ impl ReliabilityLayer {
             return None;
         }
         let rtt = self.inner.rtt.borrow();
-        let samples = rtt.get(&topic)?;
+        let samples = rtt.get(topic)?;
         if samples.len() < hedge.min_samples() {
             return None;
         }
@@ -475,7 +478,7 @@ impl ReliabilityLayer {
     pub fn try_hedge(&self, id: TaskId, topic: impl Into<Symbol>) -> Option<(TaskSpec, usize)> {
         let topic = topic.into();
         let max = self.policy(topic).hedge.max_hedges();
-        let candidates = self.inner.route.get(&topic)?.clone();
+        let candidates = self.inner.route.get(topic)?;
         let mut reg = self.inner.inflight.borrow_mut();
         let entry = reg.get_mut(&id)?;
         if entry.done || entry.hedges >= max {
@@ -486,7 +489,7 @@ impl ReliabilityLayer {
         entry.live += 1;
         let copy = entry.hedges;
         drop(reg);
-        let to = self.pick_other(id, &candidates, None);
+        let to = self.pick_other(id, candidates, None);
         self.inner.hedged.set(self.inner.hedged.get() + 1);
         self.inner.tracer.emit(
             self.inner.sim.now(),
@@ -528,7 +531,7 @@ impl ReliabilityLayer {
     ) -> Verdict {
         let topic = topic.into();
         let now = self.inner.sim.now();
-        let cfg = self.policy(topic).breaker.clone();
+        let cfg = &self.policy(topic).breaker;
         let mut reg = self.inner.inflight.borrow_mut();
         let Some(entry) = reg.get_mut(&id) else {
             // Untracked (direct pool use in tests): pass through.
@@ -550,7 +553,7 @@ impl ReliabilityLayer {
             // A sibling copy may still win: treat this failure as a
             // cancelled duplicate rather than a terminal outcome.
             drop(reg);
-            self.observe(endpoint, &cfg, false, id);
+            self.observe(endpoint, cfg, false, id);
             self.cancel(id, waste_secs);
             return Verdict::Suppress;
         }
@@ -564,11 +567,10 @@ impl ReliabilityLayer {
             self.inner
                 .rtt
                 .borrow_mut()
-                .entry(topic)
-                .or_default()
+                .get_or_insert_with(topic, Samples::default)
                 .record(rtt);
         }
-        self.observe(endpoint, &cfg, !failed && !slow, id);
+        self.observe(endpoint, cfg, !failed && !slow, id);
         verdict
     }
 
@@ -579,8 +581,9 @@ impl ReliabilityLayer {
     /// always counts as a failure signal for the endpoint's breaker.
     pub fn on_timeout(&self, endpoint: usize, id: TaskId, topic: impl Into<Symbol>) -> TimeoutVerdict {
         let topic = topic.into();
-        let policy = self.policy(topic).clone();
-        let candidates = self.inner.route.get(&topic).cloned().unwrap_or_default();
+        let policy = self.policy(topic);
+        let candidates: &[usize] =
+            self.inner.route.get(topic).map(Vec::as_slice).unwrap_or(&[]);
         let mut reg = self.inner.inflight.borrow_mut();
         let Some(entry) = reg.get_mut(&id) else {
             return TimeoutVerdict::Fail;
@@ -601,7 +604,7 @@ impl ReliabilityLayer {
             drop(reg);
             self.observe(endpoint, &policy.breaker, false, id);
             if let Some(spec) = spec {
-                let to = self.pick_other(id, &candidates, Some(endpoint));
+                let to = self.pick_other(id, candidates, Some(endpoint));
                 self.inner.rerouted.set(self.inner.rerouted.get() + 1);
                 self.inner.tracer.emit(
                     self.inner.sim.now(),
@@ -829,7 +832,7 @@ mod tests {
 
     fn layer_with(policies: ReliabilityPolicies, n_endpoints: usize) -> (Sim, ReliabilityLayer) {
         let sim = Sim::new();
-        let mut route = BTreeMap::new();
+        let mut route = SymbolMap::new();
         route.insert(Symbol::intern("noop"), (0..n_endpoints).collect::<Vec<_>>());
         let layer = ReliabilityLayer::new(
             &sim,
@@ -852,7 +855,7 @@ mod tests {
                 },
                 ..Default::default()
             },
-            per_topic: BTreeMap::new(),
+            per_topic: SymbolMap::new(),
         }
     }
 
@@ -974,7 +977,7 @@ mod tests {
                 hedge: HedgeConfig { quantile: 0.9, min_samples: 1, ..Default::default() },
                 ..Default::default()
             },
-            per_topic: BTreeMap::new(),
+            per_topic: SymbolMap::new(),
         };
         let (_sim, layer) = layer_with(policies, 2);
         let t = TaskSpec::noop(7, 100);
@@ -1008,7 +1011,7 @@ mod tests {
                 hedge: HedgeConfig { quantile: 0.9, min_samples: 1, ..Default::default() },
                 ..Default::default()
             },
-            per_topic: BTreeMap::new(),
+            per_topic: SymbolMap::new(),
         };
         let (_sim, layer) = layer_with(policies, 2);
         layer.admit(&TaskSpec::noop(1, 100));
@@ -1036,7 +1039,7 @@ mod tests {
                 },
                 ..Default::default()
             },
-            per_topic: BTreeMap::new(),
+            per_topic: SymbolMap::new(),
         };
         let (sim, layer) = layer_with(policies, 1);
         assert!(layer.hedge_delay("noop").is_none(), "no samples yet");
@@ -1059,7 +1062,7 @@ mod tests {
     fn timeout_reroutes_within_budget_then_fails() {
         let policies = ReliabilityPolicies {
             default: ReliabilityPolicy { max_reroutes: 1, ..Default::default() },
-            per_topic: BTreeMap::new(),
+            per_topic: SymbolMap::new(),
         };
         let (_sim, layer) = layer_with(policies, 2);
         layer.admit(&TaskSpec::noop(3, 100));
@@ -1087,7 +1090,7 @@ mod tests {
                 max_reroutes: 1,
                 ..Default::default()
             },
-            per_topic: BTreeMap::new(),
+            per_topic: SymbolMap::new(),
         };
         let (_sim, layer) = layer_with(policies, 1);
         layer.admit(&TaskSpec::noop(9, 100));
@@ -1112,7 +1115,7 @@ mod tests {
                 },
                 ..Default::default()
             },
-            per_topic: BTreeMap::new(),
+            per_topic: SymbolMap::new(),
         };
         let (sim, layer) = layer_with(policies, 2);
         let l = layer.clone();
@@ -1132,7 +1135,7 @@ mod tests {
     fn offline_watcher_trips_after_grace() {
         let sim = Sim::new();
         let conn = Connectivity::always_on();
-        let mut route = BTreeMap::new();
+        let mut route = SymbolMap::new();
         route.insert(Symbol::intern("noop"), vec![0]);
         let policies = ReliabilityPolicies {
             default: ReliabilityPolicy {
@@ -1143,7 +1146,7 @@ mod tests {
                 },
                 ..Default::default()
             },
-            per_topic: BTreeMap::new(),
+            per_topic: SymbolMap::new(),
         };
         let layer = ReliabilityLayer::new(
             &sim,
@@ -1173,7 +1176,7 @@ mod tests {
             &sim,
             vec![(SimTime::from_secs(5), Duration::from_secs(3))],
         );
-        let mut route = BTreeMap::new();
+        let mut route = SymbolMap::new();
         route.insert(Symbol::intern("noop"), vec![0]);
         let policies = ReliabilityPolicies {
             default: ReliabilityPolicy {
@@ -1184,7 +1187,7 @@ mod tests {
                 },
                 ..Default::default()
             },
-            per_topic: BTreeMap::new(),
+            per_topic: SymbolMap::new(),
         };
         let layer = ReliabilityLayer::new(
             &sim,

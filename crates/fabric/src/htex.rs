@@ -20,9 +20,8 @@ use crate::reliability::chaos::ChaosTargets;
 use crate::reliability::{Knob, RetryPolicies};
 use crate::task::{Arg, TaskError, TaskOutcome, TaskResult, TaskSpec, WorkerReport};
 use crate::worker::{WorkerPool, WorkerPoolConfig};
-use hetflow_sim::{channel, trace_kinds as kinds, Dist, Sender, Sim, SimRng, Symbol, Tracer};
+use hetflow_sim::{channel, trace_kinds as kinds, Dist, Sender, Sim, SimRng, Symbol, SymbolMap, Tracer};
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeMap;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -139,7 +138,7 @@ impl HtexExecutor {
         tracer: Tracer,
         policies: ReliabilityPolicies,
     ) -> HtexExecutor {
-        let mut route: BTreeMap<Symbol, Vec<usize>> = BTreeMap::new();
+        let mut route: SymbolMap<Vec<usize>> = SymbolMap::new();
         let mut pools = Vec::new();
         let mut links = Vec::new();
         let mut retries = Vec::new();
@@ -147,7 +146,7 @@ impl HtexExecutor {
         let mut pool_streams = Vec::new();
         for (i, ep) in endpoints.into_iter().enumerate() {
             for topic in &ep.topics {
-                route.entry(Symbol::intern(topic)).or_default().push(i);
+                route.get_or_insert_with(Symbol::intern(topic), Vec::new).push(i);
             }
             let (pool_res_tx, pool_res_rx) = channel::<TaskResult>();
             retries.push(ep.pool.retry.clone());
@@ -188,10 +187,10 @@ impl HtexExecutor {
         });
         for (i, rx) in pool_streams.into_iter().enumerate() {
             let inner2 = Rc::clone(&inner);
-            sim.spawn(async move {
+            sim.spawn_detached(async move {
                 while let Some(result) = rx.recv().await {
                     let inner3 = Rc::clone(&inner2);
-                    inner2.sim.spawn(async move {
+                    inner2.sim.spawn_detached(async move {
                         HtexExecutor::return_result(inner3, result, i).await;
                     });
                 }
@@ -277,7 +276,7 @@ impl HtexExecutor {
                     // Boxed to break the deliver → deliver type cycle.
                     let redo: Pin<Box<dyn Future<Output = ()>>> =
                         Box::pin(Self::deliver(inner2, *spec, to));
-                    inner.sim.spawn(redo);
+                    inner.sim.spawn_detached(redo);
                 }
                 TimeoutVerdict::Suppress => {}
                 TimeoutVerdict::Fail => {
@@ -290,7 +289,7 @@ impl HtexExecutor {
                     let result = TaskResult {
                         id,
                         topic,
-                        output: Arg::inline((), 0),
+                        output: Arg::empty(),
                         input_bytes,
                         report: WorkerReport::default(),
                         timing,
@@ -368,14 +367,14 @@ impl Fabric for HtexExecutor {
             // Hedge watchdog (see the FnX fabric for the rationale).
             if let Some(delay) = inner.health.hedge_delay(topic) {
                 let inner2 = Rc::clone(inner);
-                inner.sim.spawn(async move {
+                inner.sim.spawn_detached(async move {
                     loop {
                         inner2.sim.sleep(delay).await;
                         let Some((spec, to)) = inner2.health.try_hedge(id, topic) else {
                             break;
                         };
                         let inner3 = Rc::clone(&inner2);
-                        inner2.sim.spawn(async move {
+                        inner2.sim.spawn_detached(async move {
                             HtexExecutor::deliver(inner3, spec, to).await;
                         });
                     }
@@ -384,7 +383,7 @@ impl Fabric for HtexExecutor {
             // Deadline watchdog: hard round-trip backstop.
             if let Some(dl) = inner.health.deadline(topic) {
                 let inner2 = Rc::clone(inner);
-                inner.sim.spawn(async move {
+                inner.sim.spawn_detached(async move {
                     inner2.sim.sleep(dl).await;
                     if inner2.health.expire(id) {
                         let now = inner2.sim.now();
@@ -397,7 +396,7 @@ impl Fabric for HtexExecutor {
                         let result = TaskResult {
                             id,
                             topic,
-                            output: Arg::inline((), 0),
+                            output: Arg::empty(),
                             input_bytes,
                             report: WorkerReport::default(),
                             timing,
@@ -410,7 +409,7 @@ impl Fabric for HtexExecutor {
                 });
             }
             let inner2 = Rc::clone(inner);
-            inner.sim.spawn(async move {
+            inner.sim.spawn_detached(async move {
                 HtexExecutor::deliver(inner2, task, endpoint).await;
             });
         })

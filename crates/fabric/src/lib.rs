@@ -64,7 +64,7 @@ pub use reliability::chaos::{ChaosAction, ChaosSpec, ChaosTargets};
 pub use reliability::{Connectivity, FailureModel, Knob, RetryPolicies, RetryPolicy};
 pub use ser::SerModel;
 pub use task::{
-    Arg, TaskCtx, TaskError, TaskFn, TaskId, TaskOutcome, TaskResult, TaskSpec, TaskTiming,
+    Arg, Args, TaskCtx, TaskError, TaskFn, TaskId, TaskOutcome, TaskResult, TaskSpec, TaskTiming,
     TaskWork, WorkerReport, TASK_ENVELOPE_BYTES,
 };
 pub use worker::{WorkerPool, WorkerPoolConfig};

@@ -118,10 +118,23 @@ pub enum Arg {
     Proxied(UntypedProxy),
 }
 
+thread_local! {
+    /// One `Rc<()>` per thread, shared by every empty argument and
+    /// no-op output — placeholder values on hot paths must not
+    /// allocate a fresh `Rc` per task.
+    static EMPTY_PAYLOAD: Rc<dyn Any> = Rc::new(());
+}
+
 impl Arg {
     /// Builds an inline argument.
     pub fn inline<T: 'static>(value: T, bytes: u64) -> Arg {
         Arg::Inline { bytes, value: Rc::new(value) }
+    }
+
+    /// A zero-byte `()` placeholder argument sharing one per-thread
+    /// allocation (poisoned submissions, default worker outputs).
+    pub fn empty() -> Arg {
+        Arg::Inline { bytes: 0, value: EMPTY_PAYLOAD.with(Rc::clone) }
     }
 
     /// Bytes this argument adds to the task envelope.
@@ -143,6 +156,127 @@ impl Arg {
     /// True for proxied arguments.
     pub fn is_proxied(&self) -> bool {
         matches!(self, Arg::Proxied(_))
+    }
+}
+
+/// Argument list of a [`TaskSpec`], with inline storage for small
+/// lists.
+///
+/// Almost every task in the workloads carries zero to two arguments;
+/// up to [`Args::INLINE`] of them live directly in the spec, so
+/// building, cloning (the hedge/reroute path re-issues a clone per
+/// speculative dispatch) and dropping a typical task touches no heap
+/// `Vec` at all. Longer lists spill into a `Vec` transparently.
+#[derive(Clone, Default)]
+pub struct Args {
+    inline: [Option<Arg>; Self::INLINE],
+    inline_len: u8,
+    spill: Vec<Arg>,
+}
+
+impl Args {
+    /// Arguments stored without heap allocation.
+    pub const INLINE: usize = 4;
+
+    /// An empty argument list.
+    pub fn new() -> Self {
+        Args::default()
+    }
+
+    /// Appends an argument.
+    pub fn push(&mut self, arg: Arg) {
+        let at = usize::from(self.inline_len);
+        if at < Self::INLINE {
+            self.inline[at] = Some(arg);
+            self.inline_len += 1;
+        } else {
+            self.spill.push(arg);
+        }
+    }
+
+    /// Number of arguments.
+    pub fn len(&self) -> usize {
+        usize::from(self.inline_len) + self.spill.len()
+    }
+
+    /// True when no arguments are present.
+    pub fn is_empty(&self) -> bool {
+        self.inline_len == 0 && self.spill.is_empty()
+    }
+
+    /// The `i`-th argument, if present.
+    pub fn get(&self, i: usize) -> Option<&Arg> {
+        if i < usize::from(self.inline_len) {
+            self.inline[i].as_ref()
+        } else {
+            self.spill.get(i - usize::from(self.inline_len))
+        }
+    }
+
+    /// Arguments in order.
+    pub fn iter(&self) -> ArgsIter<'_> {
+        ArgsIter { args: self, at: 0 }
+    }
+}
+
+/// Iterator over an [`Args`] list (allocation-free, unlike a boxed
+/// `dyn Iterator`, because argument resolution runs once per task).
+pub struct ArgsIter<'a> {
+    args: &'a Args,
+    at: usize,
+}
+
+impl<'a> Iterator for ArgsIter<'a> {
+    type Item = &'a Arg;
+    fn next(&mut self) -> Option<&'a Arg> {
+        let v = self.args.get(self.at)?;
+        self.at += 1;
+        Some(v)
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.args.len() - self.at;
+        (left, Some(left))
+    }
+}
+
+impl From<Vec<Arg>> for Args {
+    fn from(v: Vec<Arg>) -> Args {
+        v.into_iter().collect()
+    }
+}
+
+impl From<Arg> for Args {
+    fn from(a: Arg) -> Args {
+        let mut args = Args::new();
+        args.push(a);
+        args
+    }
+}
+
+impl FromIterator<Arg> for Args {
+    fn from_iter<I: IntoIterator<Item = Arg>>(iter: I) -> Args {
+        let mut args = Args::new();
+        for a in iter {
+            args.push(a);
+        }
+        args
+    }
+}
+
+impl<'a> IntoIterator for &'a Args {
+    type Item = &'a Arg;
+    type IntoIter = ArgsIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl std::ops::Index<usize> for Args {
+    type Output = Arg;
+    fn index(&self, i: usize) -> &Arg {
+        self.get(i)
+            // hetlint: allow(r5) — out-of-bounds argument index is a task wiring bug
+            .unwrap_or_else(|| panic!("argument index {i} out of bounds (len {})", self.len()))
     }
 }
 
@@ -174,8 +308,10 @@ pub struct WorkerReport {
 
 /// Execution context handed to a task's compute closure.
 pub struct TaskCtx<'a> {
-    /// Resolved input values, in argument order.
-    pub inputs: Vec<Rc<dyn Any>>,
+    /// Resolved input values, in argument order. Borrowed from the
+    /// worker's reusable buffer — the per-task `Vec` allocation the
+    /// old owned field forced is gone.
+    pub inputs: &'a [Rc<dyn Any>],
     /// Worker-local random stream.
     pub rng: &'a mut SimRng,
     /// The site the worker runs on.
@@ -210,9 +346,14 @@ impl TaskWork {
     }
 
     /// A no-op result: empty output, zero compute (the synthetic tasks
-    /// of §V-C).
+    /// of §V-C). The output `Rc` is shared per thread, not allocated
+    /// per call.
     pub fn noop() -> Self {
-        TaskWork { compute_time: Duration::ZERO, output: Rc::new(()), output_size: 0 }
+        TaskWork {
+            compute_time: Duration::ZERO,
+            output: EMPTY_PAYLOAD.with(Rc::clone),
+            output_size: 0,
+        }
     }
 }
 
@@ -315,8 +456,8 @@ pub struct TaskSpec {
     pub id: TaskId,
     /// Task type, e.g. `"simulate"`, `"train"`, `"infer"`, `"sample"`.
     pub topic: Symbol,
-    /// Input arguments.
-    pub args: Vec<Arg>,
+    /// Input arguments (inline up to [`Args::INLINE`]).
+    pub args: Args,
     /// The compute closure.
     pub compute: TaskFn,
     /// Accumulated serialization time so far (thinker/server side).
@@ -342,11 +483,16 @@ impl std::fmt::Debug for TaskSpec {
 
 impl TaskSpec {
     /// Creates a task with the given topic, args and closure.
-    pub fn new(id: TaskId, topic: impl Into<Symbol>, args: Vec<Arg>, compute: TaskFn) -> Self {
+    pub fn new(
+        id: TaskId,
+        topic: impl Into<Symbol>,
+        args: impl Into<Args>,
+        compute: TaskFn,
+    ) -> Self {
         TaskSpec {
             id,
             topic: topic.into(),
-            args,
+            args: args.into(),
             compute,
             ser_time: Duration::ZERO,
             timing: TaskTiming::default(),
@@ -356,12 +502,24 @@ impl TaskSpec {
 
     /// A no-op task with one inline payload of `bytes` — the synthetic
     /// workload of §V-C.
+    ///
+    /// Issue-path allocation count: zero. The payload value, the
+    /// compute closure, and the interned topic are each created once
+    /// per thread and shared by every no-op issued after (the old code
+    /// built a dead `vec![0u8; 0]`, a fresh `Rc` payload, and a fresh
+    /// `Rc` closure per call — per-task garbage on the benchmark's
+    /// hottest path).
     pub fn noop(id: TaskId, bytes: u64) -> Self {
+        thread_local! {
+            static NOOP_FN: TaskFn = Rc::new(|_ctx| TaskWork::noop());
+        }
+        static NOOP_TOPIC: std::sync::OnceLock<Symbol> = std::sync::OnceLock::new();
+        let topic = *NOOP_TOPIC.get_or_init(|| Symbol::intern("noop"));
         TaskSpec::new(
             id,
-            "noop",
-            vec![Arg::inline(vec![0u8; 0], bytes)],
-            Rc::new(|_ctx| TaskWork::noop()),
+            topic,
+            Arg::Inline { bytes, value: EMPTY_PAYLOAD.with(Rc::clone) },
+            NOOP_FN.with(Rc::clone),
         )
     }
 
@@ -431,12 +589,57 @@ mod tests {
     }
 
     #[test]
+    fn args_inline_and_spill_preserve_order() {
+        let mut args = Args::new();
+        assert!(args.is_empty());
+        for i in 0..6u64 {
+            args.push(Arg::inline(i, i * 10));
+        }
+        assert_eq!(args.len(), 6);
+        let sizes: Vec<u64> = args.iter().map(Arg::wire_bytes).collect();
+        assert_eq!(sizes, [0, 10, 20, 30, 40, 50]);
+        assert_eq!(args[3].wire_bytes(), 30);
+        assert_eq!(args.get(5).map(Arg::wire_bytes), Some(50));
+        assert_eq!(args.get(6).map(Arg::wire_bytes), None);
+        // &Args iterates like a slice would.
+        let mut n = 0;
+        for a in &args {
+            assert_eq!(a.wire_bytes(), n * 10);
+            n += 1;
+        }
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn args_from_vec_and_clone() {
+        let args: Args = vec![Arg::inline((), 1), Arg::inline((), 2)].into();
+        assert_eq!(args.len(), 2);
+        let cloned = args.clone();
+        assert_eq!(cloned.iter().map(Arg::wire_bytes).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn noop_shares_payload_and_closure() {
+        let a = TaskSpec::noop(1, 100);
+        let b = TaskSpec::noop(2, 200);
+        assert!(Rc::ptr_eq(&a.compute, &b.compute), "one closure per thread");
+        let payload = |t: &TaskSpec| match &t.args[0] {
+            Arg::Inline { value, .. } => Rc::clone(value),
+            Arg::Proxied(_) => unreachable!("noop args are inline"),
+        };
+        assert!(Rc::ptr_eq(&payload(&a), &payload(&b)), "one payload per thread");
+        assert_eq!(a.args[0].wire_bytes(), 100);
+        assert_eq!(b.args[0].wire_bytes(), 200);
+    }
+
+    #[test]
     fn noop_task_shape() {
         let t = TaskSpec::noop(1, 10_000);
         assert_eq!(t.topic, "noop");
         assert_eq!(t.wire_bytes(), TASK_ENVELOPE_BYTES + 10_000);
         let mut rng = SimRng::from_seed(1);
-        let mut ctx = TaskCtx { inputs: vec![Rc::new(())], rng: &mut rng, site: SiteId(0) };
+        let inputs: Vec<Rc<dyn Any>> = vec![Rc::new(())];
+        let mut ctx = TaskCtx { inputs: &inputs, rng: &mut rng, site: SiteId(0) };
         let w = (t.compute)(&mut ctx);
         assert_eq!(w.compute_time, Duration::ZERO);
         assert_eq!(w.output_size, 0);
@@ -479,11 +682,8 @@ mod tests {
     #[test]
     fn task_ctx_input_downcast() {
         let mut rng = SimRng::from_seed(1);
-        let ctx = TaskCtx {
-            inputs: vec![Rc::new(42u32), Rc::new("hi")],
-            rng: &mut rng,
-            site: SiteId(0),
-        };
+        let inputs: Vec<Rc<dyn Any>> = vec![Rc::new(42u32), Rc::new("hi")];
+        let ctx = TaskCtx { inputs: &inputs, rng: &mut rng, site: SiteId(0) };
         assert_eq!(*ctx.input::<u32>(0), 42);
         assert_eq!(*ctx.input::<&str>(1), "hi");
     }
@@ -492,7 +692,8 @@ mod tests {
     #[should_panic(expected = "unexpected type")]
     fn task_ctx_wrong_type_panics() {
         let mut rng = SimRng::from_seed(1);
-        let ctx = TaskCtx { inputs: vec![Rc::new(42u32)], rng: &mut rng, site: SiteId(0) };
+        let inputs: Vec<Rc<dyn Any>> = vec![Rc::new(42u32)];
+        let ctx = TaskCtx { inputs: &inputs, rng: &mut rng, site: SiteId(0) };
         let _ = ctx.input::<String>(0);
     }
 }

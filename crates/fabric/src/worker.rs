@@ -208,6 +208,10 @@ fn spawn_worker(
             sim.sleep(delay).await;
         }
         let mut last_finish: Option<hetflow_sim::SimTime> = None;
+        // Resolved-input buffer, reused across tasks: the compute
+        // closure borrows it through `TaskCtx`, so steady state runs
+        // allocation-free once it has grown to the widest arg list.
+        let mut inputs: Vec<Rc<dyn std::any::Any>> = Vec::new();
         while let Some(mut task) = rx.recv().await {
             // Manager → worker hop.
             let hop = config.local_hop.sample_secs(&mut rng);
@@ -237,7 +241,7 @@ fn spawn_worker(
 
             // Resolve inputs. A resolve error fails the task instead of
             // tearing down the simulation.
-            let mut inputs: Vec<Rc<dyn std::any::Any>> = Vec::with_capacity(task.args.len());
+            inputs.clear();
             if failed.is_none() {
                 for arg in &task.args {
                     match arg {
@@ -263,11 +267,11 @@ fn spawn_worker(
             task.timing.inputs_resolved = Some(sim.now());
 
             let mut attempts = 1u32;
-            let mut output = Arg::inline((), 0);
+            let mut output = Arg::empty();
             if failed.is_none() {
                 // Compute.
                 let work = {
-                    let mut ctx = TaskCtx { inputs, rng: &mut rng, site: config.site };
+                    let mut ctx = TaskCtx { inputs: &inputs, rng: &mut rng, site: config.site };
                     (task.compute)(&mut ctx)
                 };
                 // Failure injection: failed attempts waste part of the
@@ -327,7 +331,7 @@ fn spawn_worker(
                                 )),
                                 Err(e) => {
                                     failed = Some(TaskError::PutFailed(e.to_string()));
-                                    Arg::inline((), 0)
+                                    Arg::empty()
                                 }
                             }
                         }

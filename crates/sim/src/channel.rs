@@ -10,12 +10,20 @@
 //! modelled explicitly by the sender (sleep, then send), which keeps cost
 //! models visible at the call site rather than hidden in plumbing.
 //!
-//! Caveat: each send wakes exactly one waiting receiver. Dropping a
-//! `recv()` future after it has been polled (racing it in `select2` /
-//! `timeout`) can therefore consume a wakeup meant for another waiting
-//! receiver and strand a queued item until the next poll. Consume
-//! channels from plain `recv().await` loops; race on [`crate::Event`]s
-//! or oneshots instead.
+//! Waiting is allocation-free on the steady state: each pending
+//! `recv()`/`send()` future owns one reusable slot in a [`WakerPool`]
+//! rather than pushing a cloned [`Waker`] into a queue on every poll.
+//! Re-polls refresh the slot in place (`will_wake` skips the clone), a
+//! released slot keeps its waker so the next future of the same task
+//! re-registers clone-free, and FIFO wake order is preserved by a queue
+//! of generation-checked slot handles.
+//!
+//! Dropping a `recv()` future mid-wait (racing it in `select2` /
+//! `timeout`) is safe: an un-notified waiter leaves a stale handle that
+//! wake-one skips, and a waiter dropped *after* it consumed a wakeup
+//! passes that wakeup to the next waiter, so a queued item is never
+//! stranded. (Earlier revisions documented this as a caveat; it is now
+//! a tested guarantee.)
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -32,32 +40,123 @@ pub struct SendError<T>(pub T);
 #[derive(Debug, PartialEq, Eq)]
 pub struct ClosedError;
 
+/// Handle to a [`WakerPool`] slot: index plus the generation at
+/// registration, so a released slot's next tenant is never confused
+/// with the old one.
+type SlotHandle = (u32, u32);
+
+struct WakerSlot {
+    /// The registered waker. Kept across release so a task that waits
+    /// on the same channel repeatedly (every worker loop) re-registers
+    /// without cloning: `will_wake` recognizes it.
+    waker: Option<Waker>,
+    generation: u32,
+    /// A wake was delivered to this slot's future and not yet consumed
+    /// by a poll.
+    notified: bool,
+}
+
+/// Pool of reusable waker slots with FIFO wake order.
+///
+/// One slot per *pending future*, registered on first poll and held
+/// until the future completes or drops — not one cloned `Waker` per
+/// poll. The wait queue holds generation-checked handles; stale entries
+/// (futures that released their slot while queued) are skipped at wake
+/// time, which costs nothing on the happy path and makes dropping a
+/// waiting future safe.
+#[derive(Default)]
+struct WakerPool {
+    slots: Vec<WakerSlot>,
+    free: Vec<u32>,
+    /// FIFO of waiting registrants.
+    queue: VecDeque<SlotHandle>,
+}
+
+impl WakerPool {
+    /// Registers `waker` under `handle` (refreshing in place) or a
+    /// fresh slot, enqueueing the future if it is not already waiting.
+    fn register(&mut self, handle: Option<SlotHandle>, waker: &Waker) -> SlotHandle {
+        if let Some((idx, generation)) = handle {
+            let slot = &mut self.slots[idx as usize];
+            if slot.generation == generation {
+                match &mut slot.waker {
+                    Some(w) if w.will_wake(waker) => {}
+                    w => *w = Some(waker.clone()),
+                }
+                if slot.notified {
+                    // The wakeup was consumed by this re-poll and the
+                    // future found nothing; rejoin the back of the line.
+                    slot.notified = false;
+                    self.queue.push_back((idx, generation));
+                }
+                return (idx, generation);
+            }
+        }
+        let idx = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.slots.push(WakerSlot { waker: None, generation: 0, notified: false });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let slot = &mut self.slots[idx as usize];
+        slot.notified = false;
+        match &mut slot.waker {
+            Some(w) if w.will_wake(waker) => {}
+            w => *w = Some(waker.clone()),
+        }
+        let handle = (idx, slot.generation);
+        self.queue.push_back(handle);
+        handle
+    }
+
+    /// Wakes the longest-waiting live registrant, skipping released
+    /// slots. Returns false when no one is waiting.
+    fn wake_one(&mut self) -> bool {
+        while let Some((idx, generation)) = self.queue.pop_front() {
+            let slot = &mut self.slots[idx as usize];
+            if slot.generation != generation {
+                continue;
+            }
+            slot.notified = true;
+            if let Some(w) = &slot.waker {
+                w.wake_by_ref();
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Wakes every waiting registrant.
+    fn wake_all(&mut self) {
+        while self.wake_one() {}
+    }
+
+    /// Releases `handle` (future completed or dropped). Returns true
+    /// when the slot held an unconsumed notification — the caller
+    /// decides whether to pass that wakeup to the next waiter.
+    fn release(&mut self, handle: SlotHandle) -> bool {
+        let (idx, generation) = handle;
+        let slot = &mut self.slots[idx as usize];
+        if slot.generation != generation {
+            return false;
+        }
+        slot.generation = slot.generation.wrapping_add(1);
+        let notified = slot.notified;
+        slot.notified = false;
+        self.free.push(idx);
+        notified
+    }
+}
+
 struct ChanState<T> {
     queue: VecDeque<T>,
-    recv_wakers: VecDeque<Waker>,
-    send_wakers: VecDeque<Waker>,
+    recv_wakers: WakerPool,
+    send_wakers: WakerPool,
     capacity: Option<usize>,
     senders: usize,
     receivers: usize,
     total_sent: u64,
-}
-
-impl<T> ChanState<T> {
-    fn wake_one_receiver(&mut self) {
-        if let Some(w) = self.recv_wakers.pop_front() {
-            w.wake();
-        }
-    }
-    fn wake_all_receivers(&mut self) {
-        for w in self.recv_wakers.drain(..) {
-            w.wake();
-        }
-    }
-    fn wake_one_sender(&mut self) {
-        if let Some(w) = self.send_wakers.pop_front() {
-            w.wake();
-        }
-    }
 }
 
 /// Sending half of a channel. Clonable.
@@ -86,8 +185,8 @@ pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
 fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let state = Rc::new(RefCell::new(ChanState {
         queue: VecDeque::new(),
-        recv_wakers: VecDeque::new(),
-        send_wakers: VecDeque::new(),
+        recv_wakers: WakerPool::default(),
+        send_wakers: WakerPool::default(),
         capacity,
         senders: 1,
         receivers: 1,
@@ -108,7 +207,7 @@ impl<T> Drop for Sender<T> {
         let mut s = self.state.borrow_mut();
         s.senders -= 1;
         if s.senders == 0 {
-            s.wake_all_receivers();
+            s.recv_wakers.wake_all();
         }
     }
 }
@@ -126,9 +225,7 @@ impl<T> Drop for Receiver<T> {
         s.receivers -= 1;
         if s.receivers == 0 {
             // Senders blocked on capacity must observe closure.
-            for w in s.send_wakers.drain(..) {
-                w.wake();
-            }
+            s.send_wakers.wake_all();
         }
     }
 }
@@ -144,13 +241,13 @@ impl<T> Sender<T> {
         }
         s.queue.push_back(value);
         s.total_sent += 1;
-        s.wake_one_receiver();
+        s.recv_wakers.wake_one();
         Ok(())
     }
 
     /// Sends, awaiting capacity on bounded channels.
     pub fn send(&self, value: T) -> SendFuture<'_, T> {
-        SendFuture { sender: self, value: Some(value) }
+        SendFuture { sender: self, value: Some(value), slot: None }
     }
 
     /// Number of items currently queued.
@@ -178,6 +275,7 @@ impl<T> Sender<T> {
 pub struct SendFuture<'a, T> {
     sender: &'a Sender<T>,
     value: Option<T>,
+    slot: Option<SlotHandle>,
 }
 
 // No self-referential fields; safe to move after polling.
@@ -188,12 +286,18 @@ impl<T> Future for SendFuture<'_, T> {
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let mut s = self.sender.state.borrow_mut();
         if s.receivers == 0 {
+            if let Some(h) = self.slot.take() {
+                s.send_wakers.release(h);
+            }
             return Poll::Ready(Err(ClosedError));
         }
         let at_capacity = s.capacity.is_some_and(|c| s.queue.len() >= c);
         if at_capacity {
-            s.send_wakers.push_back(cx.waker().clone());
+            self.slot = Some(s.send_wakers.register(self.slot, cx.waker()));
             return Poll::Pending;
+        }
+        if let Some(h) = self.slot.take() {
+            s.send_wakers.release(h);
         }
         drop(s);
         // hetlint: allow(r5) — poll-after-Ready violates the Future contract; the value
@@ -205,11 +309,26 @@ impl<T> Future for SendFuture<'_, T> {
     }
 }
 
+impl<T> Drop for SendFuture<'_, T> {
+    fn drop(&mut self) {
+        if let Some(h) = self.slot.take() {
+            let mut s = self.sender.state.borrow_mut();
+            let notified = s.send_wakers.release(h);
+            // A consumed-but-unused capacity wakeup belongs to the next
+            // blocked sender.
+            let has_room = s.capacity.is_none_or(|c| s.queue.len() < c);
+            if notified && (has_room || s.receivers == 0) {
+                s.send_wakers.wake_one();
+            }
+        }
+    }
+}
+
 impl<T> Receiver<T> {
     /// Awaits the next item; resolves to `None` once the channel is empty
     /// and all senders are gone.
     pub fn recv(&self) -> RecvFuture<'_, T> {
-        RecvFuture { receiver: self }
+        RecvFuture { receiver: self, slot: None }
     }
 
     /// Takes an item if one is queued.
@@ -217,7 +336,7 @@ impl<T> Receiver<T> {
         let mut s = self.state.borrow_mut();
         let v = s.queue.pop_front();
         if v.is_some() {
-            s.wake_one_sender();
+            s.send_wakers.wake_one();
         }
         v
     }
@@ -227,7 +346,7 @@ impl<T> Receiver<T> {
         let mut s = self.state.borrow_mut();
         let items: Vec<T> = s.queue.drain(..).collect();
         for _ in 0..items.len() {
-            s.wake_one_sender();
+            s.send_wakers.wake_one();
         }
         items
     }
@@ -246,21 +365,46 @@ impl<T> Receiver<T> {
 /// Future returned by [`Receiver::recv`].
 pub struct RecvFuture<'a, T> {
     receiver: &'a Receiver<T>,
+    slot: Option<SlotHandle>,
 }
+
+// Only a reference and a slot handle; safe to move after polling.
+impl<T> Unpin for RecvFuture<'_, T> {}
 
 impl<T> Future for RecvFuture<'_, T> {
     type Output = Option<T>;
-    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let mut s = self.receiver.state.borrow_mut();
         if let Some(v) = s.queue.pop_front() {
-            s.wake_one_sender();
+            if let Some(h) = self.slot.take() {
+                s.recv_wakers.release(h);
+            }
+            s.send_wakers.wake_one();
             return Poll::Ready(Some(v));
         }
         if s.senders == 0 {
+            if let Some(h) = self.slot.take() {
+                s.recv_wakers.release(h);
+            }
             return Poll::Ready(None);
         }
-        s.recv_wakers.push_back(cx.waker().clone());
+        self.slot = Some(s.recv_wakers.register(self.slot, cx.waker()));
         Poll::Pending
+    }
+}
+
+impl<T> Drop for RecvFuture<'_, T> {
+    fn drop(&mut self) {
+        if let Some(h) = self.slot.take() {
+            let mut s = self.receiver.state.borrow_mut();
+            let notified = s.recv_wakers.release(h);
+            // This future consumed a wakeup it will never act on; hand
+            // it to the next waiter so the item it announced (or the
+            // closure signal) is not stranded.
+            if notified && (!s.queue.is_empty() || s.senders == 0) {
+                s.recv_wakers.wake_one();
+            }
+        }
     }
 }
 
@@ -330,7 +474,10 @@ impl<T> Future for OneshotReceiver<T> {
         if !s.sender_alive {
             return Poll::Ready(Err(Dropped));
         }
-        s.waker = Some(cx.waker().clone());
+        match &mut s.waker {
+            Some(w) if w.will_wake(cx.waker()) => {}
+            w => *w = Some(cx.waker().clone()),
+        }
         Poll::Pending
     }
 }
@@ -338,7 +485,9 @@ impl<T> Future for OneshotReceiver<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::combinators::{select2, Either};
     use crate::executor::Sim;
+    use crate::sync::Event;
     use crate::time::secs;
     use crate::SimTime;
     use std::cell::RefCell as StdRefCell;
@@ -497,6 +646,129 @@ mod tests {
         assert_eq!(rx.drain_now(), vec![2, 3]);
         assert!(rx.is_empty());
         assert_eq!(tx.total_sent(), 3);
+    }
+
+    /// Regression (formerly a module-doc caveat): a `recv()` future
+    /// dropped after registering must not black-hole the wakeup of a
+    /// later send. The racer's stale slot is skipped and the item goes
+    /// to the patient receiver.
+    #[test]
+    fn dropped_recv_future_does_not_strand_item() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u32>();
+        // Racer: polls recv once (registering a waker), then a 1s timer
+        // wins the race and the recv future is dropped.
+        let rx_racer = rx.clone();
+        let s = sim.clone();
+        let racer = sim.spawn(async move {
+            // Box the sleep side to satisfy Unpin; recv is Unpin already.
+            matches!(
+                select2(rx_racer.recv(), Box::pin(s.sleep(secs(1.0)))).await,
+                Either::Right(())
+            )
+        });
+        // Patient receiver registers after the racer.
+        let patient = sim.spawn(async move { rx.recv().await });
+        // The send happens after the racer abandoned its wait.
+        let s2 = sim.clone();
+        sim.spawn(async move {
+            s2.sleep(secs(2.0)).await;
+            tx.send_now(7).unwrap();
+        });
+        assert!(sim.block_on(racer), "timer must win the race");
+        // Pre-fix, the racer's stale waker swallowed this wakeup and the
+        // item sat queued forever.
+        assert_eq!(sim.block_on(patient), Some(7));
+    }
+
+    /// A waiter dropped *after* it consumed a wakeup hands the wakeup to
+    /// the next waiter instead of stranding the announced item.
+    #[test]
+    fn notified_then_dropped_recv_passes_wakeup_on() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u32>();
+        let ev = Event::new();
+        // Racer registers first; the event branch is polled first, so
+        // when both fire at once the recv future drops *with* a pending
+        // notification.
+        let rx_racer = rx.clone();
+        let ev2 = ev.clone();
+        let racer = sim.spawn(async move {
+            matches!(select2(ev2.wait(), rx_racer.recv()).await, Either::Left(()))
+        });
+        let patient = sim.spawn(async move { rx.recv().await });
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(secs(1.0)).await;
+            // Wake the racer through the channel, then resolve its other
+            // branch before it runs: the recv notification is consumed
+            // but never acted on.
+            tx.send_now(42).unwrap();
+            ev.set();
+        });
+        assert!(sim.block_on(racer), "event branch must win");
+        assert_eq!(sim.block_on(patient), Some(42), "item must reach the second waiter");
+    }
+
+    /// Re-polling a pending recv (e.g. inside select loops) must not
+    /// grow per-poll state: the slot is refreshed in place.
+    #[test]
+    fn repolled_recv_keeps_single_slot() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u32>();
+        let s = sim.clone();
+        let waiter = sim.spawn(async move {
+            let mut recv = rx.recv();
+            loop {
+                // Race against short timers: every loop iteration
+                // re-polls the same pending recv future.
+                let sleep = Box::pin(s.sleep(secs(0.1)));
+                match select2(&mut recv, sleep).await {
+                    Either::Left(v) => return v,
+                    Either::Right(()) => {}
+                }
+            }
+        });
+        let s2 = sim.clone();
+        sim.spawn(async move {
+            s2.sleep(secs(1.05)).await;
+            tx.send_now(5).unwrap();
+        });
+        assert_eq!(sim.block_on(waiter), Some(5));
+    }
+
+    /// Dropping a bounded-channel sender that consumed a capacity
+    /// wakeup passes the wakeup to the next blocked sender.
+    #[test]
+    fn dropped_send_future_passes_capacity_on() {
+        let sim = Sim::new();
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send_now(0).unwrap(); // fill
+        let ev = Event::new();
+        // First blocked sender will abandon its send when the event fires.
+        let tx1 = tx.clone();
+        let ev2 = ev.clone();
+        let quitter = sim.spawn(async move {
+            matches!(select2(ev2.wait(), tx1.send(1)).await, Either::Left(()))
+        });
+        // Second blocked sender waits it out.
+        let tx2 = tx.clone();
+        let patient = sim.spawn(async move { tx2.send(2).await });
+        drop(tx);
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(secs(1.0)).await;
+            // Free capacity (waking the quitter), then retire the
+            // quitter before it can use it.
+            assert_eq!(rx.try_recv(), Some(0));
+            ev.set();
+            // Patient's send lands; drain it so the channel closes clean.
+            s.sleep(secs(1.0)).await;
+            assert_eq!(rx.recv().await, Some(2));
+            assert_eq!(rx.recv().await, None);
+        });
+        assert!(sim.block_on(quitter), "event must win");
+        assert_eq!(sim.block_on(patient), Ok(()));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! assert_eq!(sim.now().as_secs_f64(), 1.0);
 //! ```
 
+pub mod arena;
 pub mod channel;
 pub mod combinators;
 pub mod dist;
@@ -43,15 +44,18 @@ pub mod executor;
 pub mod intern;
 pub mod metrics;
 pub mod rng;
+pub mod symmap;
 pub mod sync;
 pub mod time;
 pub mod trace;
 
+pub use arena::{Arena, ArenaId};
 pub use combinators::{join_all, select2, Barrier, Either, Elapsed, Interval};
 pub use channel::{bounded, channel, oneshot, OneshotReceiver, OneshotSender, Receiver, Sender};
 pub use dist::Dist;
 pub use executor::{JoinHandle, RunReport, Sim};
 pub use intern::Symbol;
+pub use symmap::SymbolMap;
 pub use metrics::{Gauge, Samples, TimeSeries};
 pub use rng::SimRng;
 pub use sync::{Event, Permit, Semaphore};

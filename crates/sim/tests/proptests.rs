@@ -5,9 +5,10 @@
 //! semaphores never over-grant, and execution is deterministic under
 //! arbitrary task/timer interleavings.
 
-use hetflow_sim::{bounded, channel, time::secs, Semaphore, Sim, SimTime};
+use hetflow_sim::{bounded, channel, time::secs, Semaphore, Sim, SimTime, Symbol, SymbolMap};
 use proptest::prelude::*;
 use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 proptest! {
@@ -133,6 +134,46 @@ proptest! {
         });
         sim.run();
         prop_assert!(peak.get() <= cap, "peak {} > cap {}", peak.get(), cap);
+    }
+
+    /// `SymbolMap` must iterate exactly like the `BTreeMap<String, _>`
+    /// it replaced on digest-visible paths, for any interleaving of
+    /// inserts, overwrites, and removes over a random interned-name
+    /// set (fabric-style endpoint/topic names included so separator
+    /// characters are exercised).
+    #[test]
+    fn symbol_map_iterates_like_string_btree(
+        ops in prop::collection::vec((0u8..12, 0u16..40, 0u32..1000), 1..120)
+    ) {
+        let mut dense: SymbolMap<u32> = SymbolMap::new();
+        let mut tree: BTreeMap<String, u32> = BTreeMap::new();
+        for (kind, name_ix, value) in ops {
+            // A mixed name population: plain words, fabric endpoint
+            // names with separators, and numeric suffixes whose string
+            // order differs from numeric order.
+            let name = match kind % 4 {
+                0 => format!("pt-topic-{name_ix}"),
+                1 => format!("fnx/ep{name_ix}"),
+                2 => format!("htex/ep{name_ix}"),
+                _ => format!("pt/{}/{name_ix}", kind),
+            };
+            let sym = Symbol::intern(&name);
+            if kind >= 9 {
+                prop_assert_eq!(dense.remove(sym), tree.remove(&name));
+            } else {
+                prop_assert_eq!(dense.insert(sym, value), tree.insert(name, value));
+            }
+        }
+        prop_assert_eq!(dense.len(), tree.len());
+        let got: Vec<(&str, u32)> = dense.iter().map(|(k, &v)| (k.as_str(), v)).collect();
+        let want: Vec<(&str, u32)> = tree.iter().map(|(k, &v)| (k.as_str(), v)).collect();
+        prop_assert_eq!(got, want);
+        let keys: Vec<&str> = dense.keys().map(|k| k.as_str()).collect();
+        let want_keys: Vec<&str> = tree.keys().map(String::as_str).collect();
+        prop_assert_eq!(keys, want_keys);
+        for (name, &v) in &tree {
+            prop_assert_eq!(dense.get(Symbol::intern(name)), Some(&v));
+        }
     }
 
     /// Two identical runs produce identical completion orders

@@ -16,10 +16,11 @@ use hetflow_fabric::{
     Arg, Fabric, SerModel, TaskError, TaskFn, TaskId, TaskOutcome, TaskResult, TaskSpec,
 };
 use hetflow_store::{ProxyPolicy, SiteId, UntypedProxy};
-use hetflow_sim::{channel, trace_kinds as kinds, Dist, Receiver, Sender, Sim, SimRng, Symbol, Tracer};
+use hetflow_sim::{
+    channel, trace_kinds as kinds, Dist, Receiver, Sender, Sim, SimRng, Symbol, SymbolMap, Tracer,
+};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -47,6 +48,13 @@ impl Payload {
     /// Wraps a value with its declared size.
     pub fn new<T: 'static>(value: T, bytes: u64) -> Payload {
         Payload { inner: PayloadInner::Value { value: Rc::new(value), bytes } }
+    }
+
+    /// Wraps an already-shared value — campaign loops submitting the
+    /// same payload many times clone one `Rc` instead of allocating a
+    /// fresh box per task.
+    pub fn shared(value: Rc<dyn Any>, bytes: u64) -> Payload {
+        Payload { inner: PayloadInner::Value { value, bytes } }
     }
 
     /// Wraps an existing proxy; the target is shared between every task
@@ -92,9 +100,12 @@ struct Shared {
     rng: RefCell<SimRng>,
     next_id: Cell<TaskId>,
     submit_tx: Sender<TaskSpec>,
-    topic_rx: BTreeMap<Symbol, Receiver<TaskResult>>,
+    topic_rx: SymbolMap<Receiver<TaskResult>>,
     records: RefCell<Vec<TaskRecord>>,
     tracer: Tracer,
+    /// Pre-interned `"thinker"` trace actor — `submit`/`get_result`
+    /// must not take the interner lock per task.
+    actor: Symbol,
     outstanding: Cell<i64>,
 }
 
@@ -140,13 +151,24 @@ impl ClientQueues {
     /// Serializes (auto-proxying large payloads), stamps, and enqueues a
     /// task. Awaiting covers the thinker-side cost: serialization plus
     /// any store puts for proxied inputs.
-    pub async fn submit(&self, topic: &str, payloads: Vec<Payload>, compute: TaskFn) -> TaskId {
+    /// Accepts a `&str` or a pre-interned [`Symbol`] topic; hot loops
+    /// should intern once and pass the symbol so submission takes no
+    /// interner lock. Payloads may come from any iterable — an array
+    /// avoids the per-call `Vec` a hot campaign loop would otherwise
+    /// allocate.
+    pub async fn submit(
+        &self,
+        topic: impl Into<Symbol>,
+        payloads: impl IntoIterator<Item = Payload>,
+        compute: TaskFn,
+    ) -> TaskId {
+        let topic: Symbol = topic.into();
         let shared = &self.shared;
         let sim = &shared.sim;
         let id = shared.next_id.get();
         shared.next_id.set(id + 1);
         let created = sim.now();
-        shared.tracer.emit(created, "thinker", kinds::TASK_CREATED, id, 0.0);
+        shared.tracer.emit(created, shared.actor, kinds::TASK_CREATED, id, 0.0);
 
         // Build args, proxying what the policy selects. The store put is
         // part of "serialization time" in the paper's decomposition. A
@@ -154,13 +176,15 @@ impl ClientQueues {
         // travels the pipeline so the thinker gets a failed record with
         // honest accounting.
         let proxy_start = sim.now();
-        let mut args = Vec::with_capacity(payloads.len());
+        // `Args` stores up to four arguments inline, so the common
+        // one-payload submission builds its argument list on the stack.
+        let mut args = hetflow_fabric::Args::new();
         let mut poisoned: Option<TaskError> = None;
         for p in payloads {
             match p.inner {
                 PayloadInner::Proxied(proxy) => args.push(Arg::Proxied(proxy)),
                 PayloadInner::Value { value, bytes } => {
-                    match shared.config.policy.decide(topic, bytes) {
+                    match shared.config.policy.decide(topic.as_str(), bytes) {
                         Some(store) if poisoned.is_none() => {
                             match store.put_raw(value, bytes, shared.config.thinker_site).await {
                                 Ok(key) => args.push(Arg::Proxied(UntypedProxy::new(
@@ -170,13 +194,13 @@ impl ClientQueues {
                                 ))),
                                 Err(e) => {
                                     poisoned = Some(TaskError::PutFailed(e.to_string()));
-                                    args.push(Arg::inline((), 0));
+                                    args.push(Arg::empty());
                                 }
                             }
                         }
                         // Once poisoned, skip further puts: the task
                         // will never execute.
-                        Some(_) => args.push(Arg::inline((), 0)),
+                        Some(_) => args.push(Arg::empty()),
                         None => args.push(Arg::Inline { bytes, value }),
                     }
                 }
@@ -200,7 +224,7 @@ impl ClientQueues {
         let transit = self.queue_transit(wire);
         let submit_tx = shared.submit_tx.clone();
         let sim2 = sim.clone();
-        sim.spawn(async move {
+        sim.spawn_detached(async move {
             sim2.sleep(transit).await;
             let _ = submit_tx.send_now(task);
         });
@@ -209,11 +233,12 @@ impl ClientQueues {
 
     /// Awaits the next completed task on `topic`; `None` once the system
     /// is shut down.
-    pub async fn get_result(&self, topic: &str) -> Option<CompletedTask> {
+    pub async fn get_result(&self, topic: impl Into<Symbol>) -> Option<CompletedTask> {
+        let topic: Symbol = topic.into();
         let shared = &self.shared;
         let rx = shared
             .topic_rx
-            .get(&Symbol::intern(topic))
+            .get(topic)
             // hetlint: allow(r5) — unregistered topic is a deployment wiring bug, not a runtime fault
             .unwrap_or_else(|| panic!("topic {topic} was not registered"));
         let mut result = rx.recv().await?;
@@ -225,7 +250,7 @@ impl ClientQueues {
         shared.outstanding.set(shared.outstanding.get() - 1);
         shared
             .tracer
-            .emit(shared.sim.now(), "thinker", kinds::RESULT_RECEIVED, result.id, 0.0);
+            .emit(shared.sim.now(), shared.actor, kinds::RESULT_RECEIVED, result.id, 0.0);
         Some(CompletedTask { result: Some(result), queues: self.clone() })
     }
 
@@ -393,12 +418,29 @@ impl TaskServer {
         tracer: Tracer,
     ) -> ClientQueues {
         let (submit_tx, submit_rx) = channel::<TaskSpec>();
-        let mut topic_tx: BTreeMap<Symbol, Sender<TaskResult>> = BTreeMap::new();
-        let mut topic_rx: BTreeMap<Symbol, Receiver<TaskResult>> = BTreeMap::new();
+        let mut deliver_tx: SymbolMap<Sender<(TaskResult, hetflow_sim::SimTime)>> =
+            SymbolMap::new();
+        let mut topic_rx: SymbolMap<Receiver<TaskResult>> = SymbolMap::new();
         for &topic in topics {
             let (tx, rx) = channel::<TaskResult>();
-            topic_tx.insert(Symbol::intern(topic), tx);
             topic_rx.insert(Symbol::intern(topic), rx);
+            // Per-topic delivery actor: the modeled Redis result queue is
+            // FIFO per topic, so one long-lived actor draining deliveries
+            // in order replaces a spawned task per result. Sequential
+            // draining makes delivery times monotone by construction — a
+            // result whose transit would land it before its predecessor
+            // is released the instant the predecessor goes out, exactly
+            // the `max(deliver_at, last)` the per-result tasks computed.
+            let (dtx, drx) = channel::<(TaskResult, hetflow_sim::SimTime)>();
+            deliver_tx.insert(Symbol::intern(topic), dtx);
+            let sim2 = sim.clone();
+            sim.spawn_detached(async move {
+                while let Some((mut result, deliver_at)) = drx.recv().await {
+                    sim2.sleep_until(deliver_at).await;
+                    result.timing.thinker_notified = Some(sim2.now());
+                    let _ = tx.send_now(result);
+                }
+            });
         }
 
         let shared = Rc::new(Shared {
@@ -410,6 +452,7 @@ impl TaskServer {
             topic_rx,
             records: RefCell::new(Vec::new()),
             tracer: tracer.clone(),
+            actor: Symbol::intern("thinker"),
             outstanding: Cell::new(0),
         });
 
@@ -419,7 +462,7 @@ impl TaskServer {
             let config = config.clone();
             let mut rng = rng.substream(1);
             let fabric = Rc::clone(&fabric);
-            sim.spawn(async move {
+            sim.spawn_detached(async move {
                 while let Some(mut task) = submit_rx.recv().await {
                     task.timing.server_received = Some(sim2.now());
                     let wire = task.wire_bytes();
@@ -437,11 +480,7 @@ impl TaskServer {
             let sim2 = sim.clone();
             let config = config.clone();
             let mut rng = rng.substream(2);
-            sim.spawn(async move {
-                // The modeled Redis result queue is FIFO per topic: a
-                // result must not overtake one enqueued earlier, so each
-                // topic's delivery times are monotone.
-                let mut last_delivery: BTreeMap<Symbol, hetflow_sim::SimTime> = BTreeMap::new();
+            sim.spawn_detached(async move {
                 while let Some(mut result) = fabric_results.recv().await {
                     // Server-side deserialize + serialize pass — charged
                     // to the serialization bin like the submit path.
@@ -450,26 +489,17 @@ impl TaskServer {
                     let se = config.ser.cost(&mut rng, wire);
                     result.report.ser_time += de + se;
                     sim2.sleep(de + se).await;
-                    let Some(tx) = topic_tx.get(&result.topic) else {
+                    let Some(dtx) = deliver_tx.get(result.topic) else {
                         // hetlint: allow(r5) — unregistered topic is a deployment wiring bug
                         panic!("result for unregistered topic {}", result.topic);
                     };
-                    // Queue transit back to the thinker.
+                    // Queue transit back to the thinker; the per-topic
+                    // delivery actor holds the result until then.
                     let lat = config.queue_latency.sample(&mut rng);
                     let transit =
                         hetflow_sim::time::secs(lat + wire as f64 / config.queue_bandwidth);
-                    let mut deliver_at = sim2.now() + transit;
-                    if let Some(&last) = last_delivery.get(&result.topic) {
-                        deliver_at = deliver_at.max(last);
-                    }
-                    last_delivery.insert(result.topic, deliver_at);
-                    let tx = tx.clone();
-                    let sim3 = sim2.clone();
-                    sim2.spawn(async move {
-                        sim3.sleep_until(deliver_at).await;
-                        result.timing.thinker_notified = Some(sim3.now());
-                        let _ = tx.send_now(result);
-                    });
+                    let deliver_at = sim2.now() + transit;
+                    let _ = dtx.send_now((result, deliver_at));
                 }
             });
         }

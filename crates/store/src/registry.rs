@@ -8,9 +8,8 @@
 
 use crate::store::Store;
 pub use crate::store::EvictionPolicy;
-use hetflow_sim::{Sim, SimTime};
+use hetflow_sim::{Sim, SimTime, Symbol, SymbolMap};
 use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -26,10 +25,12 @@ impl SweeperHandle {
     }
 }
 
-/// A named collection of stores with lifetime management.
+/// A named collection of stores with lifetime management. Names are
+/// interned [`Symbol`]s, so repeated lookups index an array instead of
+/// walking a string-keyed tree; iteration stays sorted by name.
 #[derive(Clone, Default)]
 pub struct StoreRegistry {
-    inner: Rc<RefCell<BTreeMap<String, RegisteredStore>>>,
+    inner: Rc<RefCell<SymbolMap<RegisteredStore>>>,
 }
 
 #[derive(Clone)]
@@ -47,26 +48,26 @@ impl StoreRegistry {
     /// Registers a store under its own name with a lifetime policy.
     /// Panics if the name is taken.
     pub fn register(&self, store: Store, policy: EvictionPolicy) {
-        let name = store.name().to_owned();
+        let name = Symbol::intern(store.name());
         store.set_eviction(policy);
         let mut inner = self.inner.borrow_mut();
-        assert!(!inner.contains_key(&name), "store {name} already registered");
+        assert!(!inner.contains_key(name), "store {name} already registered");
         inner.insert(name, RegisteredStore { store, policy });
     }
 
     /// Looks up a store by name.
-    pub fn get(&self, name: &str) -> Option<Store> {
-        self.inner.borrow().get(name).map(|r| r.store.clone())
+    pub fn get(&self, name: impl Into<Symbol>) -> Option<Store> {
+        self.inner.borrow().get(name.into()).map(|r| r.store.clone())
     }
 
     /// The policy registered for `name`.
-    pub fn policy(&self, name: &str) -> Option<EvictionPolicy> {
-        self.inner.borrow().get(name).map(|r| r.policy)
+    pub fn policy(&self, name: impl Into<Symbol>) -> Option<EvictionPolicy> {
+        self.inner.borrow().get(name.into()).map(|r| r.policy)
     }
 
     /// Registered store names, sorted.
     pub fn names(&self) -> Vec<String> {
-        self.inner.borrow().keys().cloned().collect()
+        self.inner.borrow().keys().map(|s| s.as_str().to_owned()).collect()
     }
 
     /// Sweeps every store with a [`EvictionPolicy::MaxAge`] policy,

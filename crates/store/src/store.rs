@@ -8,7 +8,7 @@
 
 use crate::globus::{GlobusService, TransferTicket};
 use crate::location::{SiteId, SiteSet};
-use hetflow_sim::{Dist, Samples, Sim, SimRng};
+use hetflow_sim::{Arena, ArenaId, Dist, Samples, Sim, SimRng};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -210,8 +210,11 @@ struct Inner {
     backend: Backend,
     eviction: Cell<EvictionPolicy>,
     rng: RefCell<SimRng>,
-    objects: RefCell<BTreeMap<u64, ObjectEntry>>,
-    next_key: Cell<u64>,
+    /// Slot arena of stored objects. Public keys are packed
+    /// [`ArenaId`] bits, so put/evict churn recycles slots instead of
+    /// rebalancing a tree, and a stale key can never read a later
+    /// object that reused its slot.
+    objects: RefCell<Arena<ObjectEntry>>,
     stats: RefCell<StoreStats>,
     resolve_waits: RefCell<Samples>,
 }
@@ -254,8 +257,7 @@ impl Store {
                 backend,
                 eviction: Cell::new(EvictionPolicy::Manual),
                 rng: RefCell::new(rng),
-                objects: RefCell::new(BTreeMap::new()),
-                next_key: Cell::new(0),
+                objects: RefCell::new(Arena::new()),
                 stats: RefCell::new(StoreStats::default()),
                 resolve_waits: RefCell::new(Samples::new()),
             }),
@@ -340,19 +342,18 @@ impl Store {
                 }
             }
         }
-        let key = inner.next_key.get();
-        inner.next_key.set(key + 1);
-        inner.objects.borrow_mut().insert(
-            key,
-            ObjectEntry {
+        let key = inner
+            .objects
+            .borrow_mut()
+            .insert(ObjectEntry {
                 value,
                 size,
                 stored_at: inner.sim.now(),
                 resolves: 0,
                 resident,
                 transfers,
-            },
-        );
+            })
+            .to_bits();
         let mut stats = inner.stats.borrow_mut();
         stats.puts += 1;
         stats.bytes_put += size;
@@ -363,11 +364,12 @@ impl Store {
     /// costs; returns the value, the wait, and whether it was local.
     pub async fn get_raw(&self, key: u64, at: SiteId) -> Result<Resolved<dyn Any>, StoreError> {
         let inner = &self.inner;
+        let id = ArenaId::from_bits(key);
         let start = inner.sim.now();
         // Snapshot what we need without holding the borrow across awaits.
         let (size, resident, ticket) = {
             let objects = inner.objects.borrow();
-            let entry = objects.get(&key).ok_or(StoreError::Missing(key))?;
+            let entry = objects.get(id).ok_or(StoreError::Missing(key))?;
             (entry.size, entry.resident, entry.transfers.get(&at).cloned())
         };
 
@@ -397,7 +399,7 @@ impl Store {
                     };
                     was_local = ticket.is_done();
                     ticket.wait().await;
-                    if let Some(entry) = inner.objects.borrow_mut().get_mut(&key) {
+                    if let Some(entry) = inner.objects.borrow_mut().get_mut(id) {
                         entry.resident.insert(at);
                     }
                 }
@@ -410,14 +412,14 @@ impl Store {
 
         let value = {
             let mut objects = inner.objects.borrow_mut();
-            let entry = objects.get_mut(&key).ok_or(StoreError::Missing(key))?;
+            let entry = objects.get_mut(id).ok_or(StoreError::Missing(key))?;
             entry.resolves += 1;
             let value = Rc::clone(&entry.value);
             // Count-based lifetime: one-shot data leaves the store as
             // soon as its last consumer has it.
             if let EvictionPolicy::AfterResolves(n) = inner.eviction.get() {
                 if entry.resolves >= n {
-                    objects.remove(&key);
+                    objects.remove(id);
                     inner.stats.borrow_mut().evictions += 1;
                 }
             }
@@ -452,16 +454,22 @@ impl Store {
     /// count (used by age-based lifetime policies).
     pub fn evict_older_than(&self, cutoff: hetflow_sim::SimTime) -> usize {
         let mut objects = self.inner.objects.borrow_mut();
-        let before = objects.len();
-        objects.retain(|_, e| e.stored_at >= cutoff);
-        let evicted = before - objects.len();
+        let old: Vec<ArenaId> = objects
+            .iter()
+            .filter(|(_, e)| e.stored_at < cutoff)
+            .map(|(id, _)| id)
+            .collect();
+        let evicted = old.len();
+        for id in old {
+            objects.remove(id);
+        }
         self.inner.stats.borrow_mut().evictions += evicted as u64;
         evicted
     }
 
     /// Removes an object, freeing its (simulated) memory.
     pub fn evict(&self, key: u64) -> bool {
-        let removed = self.inner.objects.borrow_mut().remove(&key).is_some();
+        let removed = self.inner.objects.borrow_mut().remove(ArenaId::from_bits(key)).is_some();
         if removed {
             self.inner.stats.borrow_mut().evictions += 1;
         }
@@ -470,17 +478,17 @@ impl Store {
 
     /// True while the key is stored.
     pub fn contains(&self, key: u64) -> bool {
-        self.inner.objects.borrow().contains_key(&key)
+        self.inner.objects.borrow().contains(ArenaId::from_bits(key))
     }
 
     /// Declared size of a stored object.
     pub fn size_of(&self, key: u64) -> Option<u64> {
-        self.inner.objects.borrow().get(&key).map(|e| e.size)
+        self.inner.objects.borrow().get(ArenaId::from_bits(key)).map(|e| e.size)
     }
 
     /// Sum of declared sizes of all resident objects.
     pub fn resident_bytes(&self) -> u64 {
-        self.inner.objects.borrow().values().map(|e| e.size).sum()
+        self.inner.objects.borrow().iter().map(|(_, e)| e.size).sum()
     }
 
     /// Number of stored objects.
