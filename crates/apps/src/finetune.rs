@@ -17,6 +17,7 @@
 //! A balancing agent shifts CPU workers between simulation and sampling
 //! to hold the audit pool near a target size, as in the paper.
 
+use crate::degradation::{DegradationPolicy, DegradationState};
 use hetflow_chem::{
     pretraining_set, run_md, solvated_methane, EnergyModel, MdParams, MorsePes, Structure,
 };
@@ -60,6 +61,9 @@ pub struct FinetuneParams {
     pub md_steps_end: usize,
     /// Campaign seed.
     pub seed: u64,
+    /// Overload response: when to shrink the training ensemble.
+    /// Disabled by default.
+    pub degradation: DegradationPolicy,
 }
 
 impl Default for FinetuneParams {
@@ -74,6 +78,7 @@ impl Default for FinetuneParams {
             md_steps_start: 20,
             md_steps_end: 1000,
             seed: 11,
+            degradation: DegradationPolicy::default(),
         }
     }
 }
@@ -92,6 +97,10 @@ pub struct FinetuneOutcome {
     pub training_rounds: usize,
     /// Sampling tasks completed.
     pub sampling_tasks: usize,
+    /// Tasks (of any topic) overload protection shed before they ran.
+    pub shed: usize,
+    /// Times the campaign entered degraded fidelity.
+    pub degradations: u64,
     /// All finished-task records (Fig. 7b overheads, Fig. 1 traces).
     pub records: Vec<TaskRecord>,
     /// Virtual end time.
@@ -162,6 +171,10 @@ struct State {
     samples_done: Cell<usize>,
     new_count: Cell<usize>,
     alternate: Cell<bool>,
+    /// Shed tasks observed (any topic).
+    shed: Cell<usize>,
+    /// Fidelity tracker: the trainer consults it per round.
+    degradation: Rc<DegradationState>,
     params: FinetuneParams,
 }
 
@@ -233,6 +246,13 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: FinetuneParams) -> Finetu
         .map(|i| solvated_methane(params.seed ^ (200 + i as u64)))
         .collect();
 
+    let degradation =
+        DegradationState::new(sim, deployment.tracer.clone(), "finetune", params.degradation);
+    if params.degradation.enabled() {
+        let d = Rc::clone(&degradation);
+        deployment.health.on_breaker_change(move |_endpoint, open| d.on_breaker(open));
+    }
+
     let state = Rc::new(State {
         pretrain,
         reference_data: RefCell::new(Vec::new()),
@@ -247,6 +267,8 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: FinetuneParams) -> Finetu
         samples_done: Cell::new(0),
         new_count: Cell::new(0),
         alternate: Cell::new(false),
+        shed: Cell::new(0),
+        degradation,
         params: params.clone(),
     });
 
@@ -331,6 +353,11 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: FinetuneParams) -> Finetu
                 let Some(done) = queues.get_result("sample").await else { break };
                 let resolved = done.resolve().await;
                 counter.release("sample", 1);
+                if resolved.is_shed() {
+                    state.shed.set(state.shed.get() + 1);
+                    state.degradation.note_shed();
+                    continue;
+                }
                 if resolved.is_failed() {
                     continue; // lost trajectory: free the slot, sample again
                 }
@@ -398,6 +425,11 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: FinetuneParams) -> Finetu
                 for _ in 0..n {
                     let Some(done) = queues.get_result("infer").await else { return };
                     let resolved = done.resolve().await;
+                    if resolved.is_shed() {
+                        state.shed.set(state.shed.get() + 1);
+                        state.degradation.note_shed();
+                        continue;
+                    }
                     if resolved.is_failed() {
                         continue; // member's scores lost for this round
                     }
@@ -478,9 +510,15 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: FinetuneParams) -> Finetu
                 let Some(done) = queues.get_result("simulate").await else { break };
                 let resolved = done.resolve().await;
                 counter.release("simulate", 1);
+                if resolved.is_shed() {
+                    state.shed.set(state.shed.get() + 1);
+                    state.degradation.note_shed();
+                    continue;
+                }
                 if resolved.is_failed() {
                     continue; // no label produced: the structure is lost
                 }
+                state.degradation.note_ok();
                 let labelled = resolved.value::<LabelledStructure>();
                 state.reference_data.borrow_mut().push((*labelled).clone());
                 state.new_count.set(state.new_count.get() + 1);
@@ -511,7 +549,9 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: FinetuneParams) -> Finetu
                     break;
                 }
                 let reference = Rc::new(state.reference_data.borrow().clone());
-                let n = state.params.ensemble_size;
+                // Degraded mode: a half-size ensemble refit keeps the
+                // campaign learning at a fraction of the GPU bill.
+                let n = state.degradation.ensemble_size(state.params.ensemble_size);
                 for member in 0..n {
                     let duration = cal::finetune_train_duration().sample(&mut rng);
                     let member_rng = rng.substream(9000 + member as u64);
@@ -529,6 +569,11 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: FinetuneParams) -> Finetu
                 for _ in 0..n {
                     let Some(done) = queues.get_result("train").await else { return };
                     let resolved = done.resolve().await;
+                    if resolved.is_shed() {
+                        state.shed.set(state.shed.get() + 1);
+                        state.degradation.note_shed();
+                        continue;
+                    }
                     if resolved.is_failed() {
                         continue; // train member lost; the round shrinks
                     }
@@ -582,6 +627,8 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: FinetuneParams) -> Finetu
         initial_force_rmsd: initial_rmsd,
         training_rounds: state.rounds.get(),
         sampling_tasks: state.samples_done.get(),
+        shed: state.shed.get(),
+        degradations: state.degradation.degradations(),
         records: queues.records(),
         end: sim.now(),
     }

@@ -14,10 +14,12 @@
 //! science outcomes (Figs. 6a, 7a) reflect how fast each workflow
 //! configuration actually moves data.
 
+pub mod degradation;
 pub mod finetune;
 pub mod matrix;
 pub mod moldesign;
 
+pub use degradation::{DegradationPolicy, DegradationState};
 pub use finetune::{
     ensemble_force_rmsd, initial_ensemble, test_set, FinetuneOutcome, FinetuneParams,
 };

@@ -12,6 +12,7 @@
 //! Fig. 6a *emerge* from how quickly each workflow configuration moves
 //! data and instructions.
 
+use crate::degradation::{DegradationPolicy, DegradationState};
 use hetflow_chem::MoleculeLibrary;
 use hetflow_core::calibration::tasks as cal;
 use hetflow_core::{Deployment, UtilizationReport};
@@ -62,6 +63,9 @@ pub struct MolDesignParams {
     pub seed: u64,
     /// Steering policy (ablation hook).
     pub steering: SteeringMode,
+    /// Overload response: when to swap the DFT-like oracle for the
+    /// TTM-like fast estimate. Disabled by default.
+    pub degradation: DegradationPolicy,
 }
 
 impl Default for MolDesignParams {
@@ -76,6 +80,7 @@ impl Default for MolDesignParams {
             backlog: 0,
             seed: 7,
             steering: SteeringMode::ActiveLearning,
+            degradation: DegradationPolicy::default(),
         }
     }
 }
@@ -89,6 +94,10 @@ pub struct MolDesignOutcome {
     /// Tasks (of any topic) that came back failed — nonzero only under
     /// failure injection or outages.
     pub failed: usize,
+    /// Tasks (of any topic) overload protection shed before they ran.
+    pub shed: usize,
+    /// Times the campaign entered degraded fidelity.
+    pub degradations: u64,
     /// `(cumulative simulation node-seconds, molecules found)` curve —
     /// the Fig. 6a series.
     pub found_curve: Vec<(f64, usize)>,
@@ -140,8 +149,12 @@ struct State {
     found: Cell<usize>,
     /// Failed tasks observed (any topic).
     failed: Cell<usize>,
+    /// Shed tasks observed (any topic).
+    shed: Cell<usize>,
     found_curve: RefCell<Vec<(f64, usize)>>,
     ml_makespans: RefCell<Samples>,
+    /// Fidelity tracker: the dispatcher consults it per simulation.
+    degradation: Rc<DegradationState>,
     params: MolDesignParams,
 }
 
@@ -158,6 +171,14 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: MolDesignParams) -> MolDe
     let mut shuffle_rng = rng.substream(0);
     shuffle_rng.shuffle(&mut initial);
 
+    let degradation =
+        DegradationState::new(sim, deployment.tracer.clone(), "moldesign", params.degradation);
+    if params.degradation.enabled() {
+        // Breakers opening on any endpoint are overload pressure too.
+        let d = Rc::clone(&degradation);
+        deployment.health.on_breaker_change(move |_endpoint, open| d.on_breaker(open));
+    }
+
     let state = Rc::new(State {
         lib: Rc::clone(&lib),
         queue: RefCell::new(initial),
@@ -168,8 +189,10 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: MolDesignParams) -> MolDe
         node_time: Cell::new(0.0),
         found: Cell::new(0),
         failed: Cell::new(0),
+        shed: Cell::new(0),
         found_curve: RefCell::new(vec![(0.0, 0)]),
         ml_makespans: RefCell::new(Samples::new()),
+        degradation,
         params: params.clone(),
     });
 
@@ -208,7 +231,13 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: MolDesignParams) -> MolDe
                     break;
                 };
                 state.dispatched.borrow_mut().insert(id);
-                let duration = cal::moldesign_simulate_duration().sample(&mut rng);
+                // Fidelity swap: while degraded, the oracle is the
+                // TTM-like fast estimate instead of the DFT-like call.
+                let duration = if state.degradation.is_degraded() {
+                    cal::moldesign_simulate_fast_duration().sample(&mut rng)
+                } else {
+                    cal::moldesign_simulate_duration().sample(&mut rng)
+                };
                 let compute = simulate_task(Rc::clone(&state.lib), id, duration);
                 queues
                     .submit(
@@ -232,12 +261,20 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: MolDesignParams) -> MolDe
                 let Some(done) = queues.get_result("simulate").await else { break };
                 let resolved = done.resolve().await;
                 slots.add_permits(1);
+                if resolved.is_shed() {
+                    // Overload protection dropped the task before it
+                    // ran: feed the degradation tracker and move on.
+                    state.shed.set(state.shed.get() + 1);
+                    state.degradation.note_shed();
+                    continue;
+                }
                 if resolved.is_failed() {
                     // The candidate is lost for this campaign: free the
                     // worker slot and keep steering on what did finish.
                     state.failed.set(state.failed.get() + 1);
                     continue;
                 }
+                state.degradation.note_ok();
                 let (id, ip, node_secs) = *resolved.value::<(usize, f64, f64)>();
                 state.node_time.set(state.node_time.get() + node_secs);
                 state.database.borrow_mut().push((id, ip));
@@ -329,6 +366,11 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: MolDesignParams) -> MolDe
                 for _ in 0..n {
                     let Some(done) = queues.get_result("train").await else { return };
                     let resolved = done.resolve().await;
+                    if resolved.is_shed() {
+                        state.shed.set(state.shed.get() + 1);
+                        state.degradation.note_shed();
+                        continue;
+                    }
                     if resolved.is_failed() {
                         state.failed.set(state.failed.get() + 1);
                         continue;
@@ -351,6 +393,11 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: MolDesignParams) -> MolDe
                 for _ in 0..launched {
                     let Some(done) = queues.get_result("infer").await else { return };
                     let resolved = done.resolve().await;
+                    if resolved.is_shed() {
+                        state.shed.set(state.shed.get() + 1);
+                        state.degradation.note_shed();
+                        continue;
+                    }
                     if resolved.is_failed() {
                         state.failed.set(state.failed.get() + 1);
                         continue;
@@ -377,6 +424,8 @@ pub fn run(sim: &Sim, deployment: &Deployment, params: MolDesignParams) -> MolDe
         found: state.found.get(),
         simulations: state.database.borrow().len(),
         failed: state.failed.get(),
+        shed: state.shed.get(),
+        degradations: state.degradation.degradations(),
         found_curve: state.found_curve.borrow().clone(),
         ml_makespans: state.ml_makespans.borrow().clone(),
         cpu_idle: deployment.cpu_pool.idle_gaps(),
@@ -539,6 +588,8 @@ mod tests {
             found: 3,
             simulations: 5,
             failed: 0,
+            shed: 0,
+            degradations: 0,
             found_curve: vec![(0.0, 0), (100.0, 1), (200.0, 3)],
             ml_makespans: Samples::new(),
             cpu_idle: Samples::new(),

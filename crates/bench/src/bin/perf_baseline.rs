@@ -35,6 +35,16 @@
 //! accidental O(n) slip in the kernel does not. The JSON is also
 //! echoed to stdout so CI logs carry the numbers even if the artifact
 //! upload fails.
+//!
+//! Tolerance notes: the 70% floor applies only to the wall-clock
+//! rates above. The overload probe lives in its own binary
+//! (`overload_sweep`, `BENCH_overload.json`) and needs *no*
+//! tolerance at all — every number there is virtual-time-derived and
+//! deterministic, so it self-gates on exact thresholds (goodput at 2x
+//! saturation >= 80% of peak, bounded p99 queue wait) instead of a
+//! noise floor. Do not fold virtual-time metrics into this artifact's
+//! compare gate: a deterministic number wrapped in a 30% band is a
+//! regression hiding place.
 
 use std::time::{Duration, Instant};
 

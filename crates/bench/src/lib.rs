@@ -147,6 +147,8 @@ impl NoopPipeline {
             start_delays: Vec::new(),
             pace: hetflow_fabric::Knob::new(1.0),
             crash: hetflow_fabric::Knob::new(0.0),
+            queue_capacity: 0,
+            overflow: hetflow_sim::OverflowPolicy::default(),
         };
 
         let (results_tx, results_rx) = channel();

@@ -90,6 +90,15 @@ pub struct DeploymentSpec {
     /// Connectivity for the failover endpoints, matched by index;
     /// missing entries default to always-on.
     pub failover_connectivity: Vec<hetflow_fabric::Connectivity>,
+    /// Bound on the Theta pool's pending-task queue, enforced at
+    /// delivery time with [`DeploymentSpec::overflow`]. `0` keeps the
+    /// queue unbounded (the zero-value defer).
+    pub cpu_queue_capacity: usize,
+    /// Bound on the Venti pool's pending-task queue. `0` = unbounded.
+    pub gpu_queue_capacity: usize,
+    /// What a delivery does when it finds a bounded pool queue full.
+    /// Irrelevant while both capacities are `0`.
+    pub overflow: hetflow_sim::OverflowPolicy,
 }
 
 impl Default for DeploymentSpec {
@@ -107,6 +116,9 @@ impl Default for DeploymentSpec {
             reliability: hetflow_fabric::ReliabilityPolicies::default(),
             cpu_failover_sites: 0,
             failover_connectivity: Vec::new(),
+            cpu_queue_capacity: 0,
+            gpu_queue_capacity: 0,
+            overflow: hetflow_sim::OverflowPolicy::default(),
         }
     }
 }
@@ -133,6 +145,10 @@ pub struct Deployment {
     pub chaos: ChaosTargets,
     /// Failover CPU pools (`cpu_failover_sites` of them), in order.
     pub failover_pools: Vec<WorkerPool>,
+    /// The tracer the deployment was wired with — application-level
+    /// policies (e.g. fidelity degradation) emit through the same
+    /// stream so their events fold into the digest.
+    pub tracer: Tracer,
     /// Which configuration was deployed.
     pub config: WorkflowConfig,
 }
@@ -214,6 +230,8 @@ pub fn deploy(
         start_delays: Vec::new(),
         pace: Knob::new(1.0),
         crash: Knob::new(0.0),
+        queue_capacity: spec.cpu_queue_capacity,
+        overflow: spec.overflow,
     };
     let gpu_pool_config = WorkerPoolConfig {
         site: VENTI,
@@ -227,13 +245,15 @@ pub fn deploy(
         start_delays: Vec::new(),
         pace: Knob::new(1.0),
         crash: Knob::new(0.0),
+        queue_capacity: spec.gpu_queue_capacity,
+        overflow: spec.overflow,
     };
 
     // --- Fabric ------------------------------------------------------------
     let (results_tx, results_rx): (_, Receiver<TaskResult>) = channel();
     type Wired =
         (Rc<dyn Fabric>, WorkerPool, WorkerPool, Vec<WorkerPool>, ReliabilityLayer, ChaosTargets);
-    let (fabric, cpu_pool, gpu_pool, failover_pools, health, chaos): Wired = match config {
+    let (fabric, cpu_pool, gpu_pool, failover_pools, health, mut chaos): Wired = match config {
         WorkflowConfig::Parsl | WorkflowConfig::ParslRedis => {
             let exec = HtexExecutor::with_reliability(
                 sim,
@@ -313,6 +333,9 @@ pub fn deploy(
     };
 
     // --- Task server + thinker queues -----------------------------------
+    // Chaos task storms submit straight through the fabric handle —
+    // wired here because only the deployment owns the `Rc<dyn Fabric>`.
+    chaos.storm = Some(Rc::clone(&fabric));
     let queues = TaskServer::start(
         sim,
         QueueConfig {
@@ -326,7 +349,7 @@ pub fn deploy(
         results_rx,
         &all_topics(),
         rng.substream(6),
-        tracer,
+        tracer.clone(),
     );
 
     Deployment {
@@ -339,6 +362,7 @@ pub fn deploy(
         health,
         chaos,
         failover_pools,
+        tracer,
         config,
     }
 }

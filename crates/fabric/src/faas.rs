@@ -16,10 +16,14 @@
 use crate::fabric::Fabric;
 use crate::health::{ReliabilityLayer, ReliabilityPolicies, TimeoutVerdict, Verdict};
 use crate::reliability::chaos::ChaosTargets;
+use crate::reliability::overload::{AdmissionConfig, AdmissionController, BackpressureGate};
 use crate::reliability::{Knob, RetryPolicies};
 use crate::task::{Arg, TaskError, TaskOutcome, TaskResult, TaskSpec, WorkerReport};
 use crate::worker::{WorkerPool, WorkerPoolConfig};
-use hetflow_sim::{channel, trace_kinds as kinds, Dist, Sender, Sim, SimRng, Symbol, SymbolMap, Tracer};
+use hetflow_sim::{
+    channel, trace_kinds as kinds, Dist, Offered, OverflowPolicy, Sender, Sim, SimRng, Symbol,
+    SymbolMap, Tracer,
+};
 use std::cell::{Cell, RefCell};
 use std::future::Future;
 use std::pin::Pin;
@@ -122,11 +126,25 @@ struct Inner {
     brownout: Vec<Knob>,
     /// Cloud-service degradation dial (chaos-engine target).
     cloud: Knob,
+    /// Per-endpoint pool-queue bound and overflow policy (0 = unbounded).
+    bounds: Vec<(usize, OverflowPolicy)>,
+    /// Token-bucket/in-flight admission, consulted before the breaker
+    /// layer. Only topics with an enabled config appear in
+    /// `admission_cfgs`, so unconfigured topics pay nothing.
+    admission: AdmissionController,
+    admission_cfgs: SymbolMap<AdmissionConfig>,
+    /// Per-topic depth watermark gate; empty when no topic configures
+    /// backpressure.
+    gate: BackpressureGate,
+    /// Primary endpoint per routed topic (attribution for tasks shed
+    /// before an endpoint is picked).
+    primary: SymbolMap<usize>,
     results: Sender<TaskResult>,
     tracer: Tracer,
     submitted: Cell<u64>,
     returned: Cell<u64>,
     timed_out: Cell<u64>,
+    shed: Cell<u64>,
     payload_bytes: Cell<u64>,
 }
 
@@ -175,23 +193,44 @@ impl FnXExecutor {
         policies: ReliabilityPolicies,
     ) -> FnXExecutor {
         let mut route: SymbolMap<Vec<usize>> = SymbolMap::new();
+        let mut primary: SymbolMap<usize> = SymbolMap::new();
         let mut pools = Vec::new();
         let mut connectivity = Vec::new();
         let mut retries = Vec::new();
         let mut brownout = Vec::new();
+        let mut bounds = Vec::new();
         let mut pool_streams = Vec::new();
         for (i, ep) in endpoints.into_iter().enumerate() {
             for topic in &ep.topics {
-                route.get_or_insert_with(Symbol::intern(topic), Vec::new).push(i);
+                let sym = Symbol::intern(topic);
+                let targets = route.get_or_insert_with(sym, Vec::new);
+                if targets.is_empty() {
+                    primary.insert(sym, i);
+                }
+                targets.push(i);
             }
             let (pool_res_tx, pool_res_rx) = channel::<TaskResult>();
             retries.push(ep.pool.retry.clone());
+            bounds.push((ep.pool.queue_capacity, ep.pool.overflow));
             let pool =
                 WorkerPool::spawn(sim, ep.pool, pool_res_tx, &rng.substream(i as u64), tracer.clone());
             pools.push(pool);
             connectivity.push(ep.connectivity);
             brownout.push(Knob::new(1.0));
             pool_streams.push(pool_res_rx);
+        }
+        // Overload protection: admission configs and backpressure
+        // watermarks are read off the policies before the layer takes
+        // them. Topics with all-zero configs register nothing.
+        let admission = AdmissionController::new(sim);
+        let mut admission_cfgs: SymbolMap<AdmissionConfig> = SymbolMap::new();
+        let gate = BackpressureGate::new(sim, tracer.clone(), "fnx");
+        for topic in primary.keys() {
+            let policy = policies.policy_for(topic);
+            if policy.admission.enabled() {
+                admission_cfgs.insert(topic, policy.admission.clone());
+            }
+            gate.register(topic, &policy.backpressure);
         }
         let health =
             ReliabilityLayer::new(sim, tracer.clone(), "fnx", policies, route, &connectivity);
@@ -208,11 +247,17 @@ impl FnXExecutor {
             retries,
             brownout,
             cloud: Knob::new(1.0),
+            bounds,
+            admission,
+            admission_cfgs,
+            gate,
+            primary,
             results,
             tracer,
             submitted: Cell::new(0),
             returned: Cell::new(0),
             timed_out: Cell::new(0),
+            shed: Cell::new(0),
             payload_bytes: Cell::new(0),
         });
         // One return-path actor per endpoint.
@@ -242,7 +287,9 @@ impl FnXExecutor {
 
     /// The chaos-engine handles of this deployment: endpoint
     /// connectivity, per-pool pace/crash dials, per-endpoint link
-    /// brownout dials, and the cloud-service degradation dial.
+    /// brownout dials, and the cloud-service degradation dial. The
+    /// storm target stays `None` here — the deployment layer owns the
+    /// `Rc<dyn Fabric>` handle and wires it in itself.
     pub fn chaos_targets(&self) -> ChaosTargets {
         ChaosTargets {
             connectivity: self.inner.connectivity.clone(),
@@ -250,6 +297,7 @@ impl FnXExecutor {
             crash: self.inner.pools.iter().map(WorkerPool::crash_knob).collect(),
             brownout: self.inner.brownout.clone(),
             cloud: Some(self.inner.cloud.clone()),
+            storm: None,
         }
     }
 
@@ -271,6 +319,51 @@ impl FnXExecutor {
     /// Tasks failed by the delivery deadline (`RetryPolicy::timeout`).
     pub fn timed_out(&self) -> u64 {
         self.inner.timed_out.get()
+    }
+
+    /// Tasks dropped by overload protection (admission refusals plus
+    /// queue-overflow evictions) — each still delivered a terminal
+    /// [`TaskOutcome::Shed`] result.
+    pub fn shed(&self) -> u64 {
+        self.inner.shed.get()
+    }
+
+    /// The admission controller (in-flight/rejection counters).
+    pub fn admission(&self) -> &AdmissionController {
+        &self.inner.admission
+    }
+
+    /// Balances the overload accounting when a task reaches its one
+    /// terminal outcome: the topic's in-fabric depth drops (possibly
+    /// reopening the backpressure gate) and its admission slot frees.
+    fn release(inner: &Inner, topic: Symbol) {
+        inner.gate.on_exit(topic);
+        inner.admission.on_done(topic);
+    }
+
+    /// Delivers the terminal [`TaskOutcome::Shed`] result for a task
+    /// dropped by overload protection. `load` is the queue depth or
+    /// in-flight count observed at the shed decision (the trace value).
+    fn shed_result(inner: &Inner, spec: TaskSpec, endpoint: usize, hedges: u32, reroutes: u32, load: f64) {
+        let now = inner.sim.now();
+        let actor = inner.actors[endpoint];
+        inner.tracer.emit(now, actor, kinds::TASK_SHED, spec.id, load);
+        let mut timing = spec.timing;
+        timing.server_result_received = Some(now);
+        inner.shed.set(inner.shed.get() + 1);
+        inner.returned.set(inner.returned.get() + 1);
+        let result = TaskResult {
+            id: spec.id,
+            topic: spec.topic,
+            output: Arg::empty(),
+            input_bytes: spec.args.iter().map(Arg::data_bytes).sum(),
+            report: WorkerReport { hedges, reroutes, ..WorkerReport::default() },
+            timing,
+            site: inner.pools[endpoint].site(),
+            worker: actor,
+            outcome: TaskOutcome::Shed,
+        };
+        let _ = inner.results.send_now(result); // hetlint: allow(r15) — teardown-tolerant: the campaign driver may have dropped the results receiver
     }
 
     /// Races the delivery against the topic's `RetryPolicy::timeout`.
@@ -304,6 +397,7 @@ impl FnXExecutor {
                     let now = inner.sim.now();
                     let actor = inner.actors[endpoint];
                     inner.tracer.emit(now, actor, kinds::TASK_TIMEOUT, id, deadline.as_secs_f64());
+                    Self::release(&inner, topic);
                     timing.server_result_received = Some(now);
                     inner.timed_out.set(inner.timed_out.get() + 1);
                     inner.returned.set(inner.returned.get() + 1);
@@ -339,7 +433,26 @@ impl FnXExecutor {
         let get = inner.params.store_op(&mut inner.rng.borrow_mut(), bytes);
         inner.sim.sleep(scaled(scaled(get, &inner.cloud), &inner.brownout[endpoint])).await;
         inner.payload_bytes.set(inner.payload_bytes.get() + 2 * bytes);
-        let _ = inner.pools[endpoint].tasks.send_now(task);
+        let (capacity, overflow) = inner.bounds[endpoint];
+        match inner.pools[endpoint].tasks.offer(task, capacity, overflow, |t| u64::from(t.priority))
+        {
+            Offered::Accepted => {}
+            Offered::Closed(_) => {} // experiment torn down
+            Offered::Displaced(victim) => {
+                // A shed copy is a failure for arbitration purposes: if
+                // a hedge/reroute sibling is still live the loss is
+                // silent; otherwise the Shed outcome is the task's one
+                // terminal result.
+                let topic = victim.topic;
+                match inner.health.on_result(endpoint, victim.id, topic, true, 0.0) {
+                    Verdict::Deliver { hedges, reroutes } => {
+                        Self::shed_result(&inner, victim, endpoint, hedges, reroutes, capacity as f64);
+                        Self::release(&inner, topic);
+                    }
+                    Verdict::Suppress => {}
+                }
+            }
+        }
     }
 
     async fn return_result(inner: Rc<Inner>, mut result: TaskResult, endpoint: usize) {
@@ -367,6 +480,7 @@ impl FnXExecutor {
             waste,
         ) {
             Verdict::Deliver { hedges, reroutes } => {
+                Self::release(&inner, result.topic);
                 result.report.hedges = hedges;
                 result.report.reroutes = reroutes;
                 result.timing.server_result_received = Some(inner.sim.now());
@@ -392,6 +506,23 @@ impl Fabric for FnXExecutor {
                 task.topic,
             );
             task.timing.dispatched = Some(inner.sim.now());
+            // Admission control: a refused submission still pays the
+            // HTTPS round trip (the cloud rejects after the call) and
+            // resolves to a terminal Shed outcome; it never reaches the
+            // breaker layer, so no in-flight tracking to unwind.
+            if let Some(cfg) = inner.admission_cfgs.get(task.topic) {
+                if !inner.admission.try_admit(task.topic, cfg) {
+                    let https =
+                        inner.params.https_latency.sample_secs(&mut inner.rng.borrow_mut());
+                    inner.sim.sleep(https).await;
+                    inner.submitted.set(inner.submitted.get() + 1);
+                    let ep = inner.primary.get(task.topic).copied().unwrap_or(0);
+                    let load = inner.admission.in_flight(task.topic) as f64;
+                    Self::shed_result(inner, task, ep, 0, 0, load);
+                    return;
+                }
+            }
+            inner.gate.on_enter(task.topic);
             // Register the dispatch with the reliability layer, which
             // picks the endpoint (breaker-aware when configured; the
             // primary otherwise).
@@ -438,6 +569,7 @@ impl Fabric for FnXExecutor {
                         let now = inner2.sim.now();
                         let actor = inner2.actors[endpoint];
                         inner2.tracer.emit(now, actor, kinds::TASK_TIMEOUT, id, dl.as_secs_f64());
+                        Self::release(&inner2, topic);
                         let mut timing = timing;
                         timing.server_result_received = Some(now);
                         inner2.timed_out.set(inner2.timed_out.get() + 1);
@@ -466,6 +598,14 @@ impl Fabric for FnXExecutor {
 
     fn label(&self) -> &'static str {
         "fnx"
+    }
+
+    fn backpressure(&self) -> Option<BackpressureGate> {
+        if self.inner.gate.is_empty() {
+            None
+        } else {
+            Some(self.inner.gate.clone())
+        }
     }
 }
 

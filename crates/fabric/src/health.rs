@@ -137,6 +137,12 @@ pub struct ReliabilityPolicy {
     /// per task" hold under arbitrary chaos. `Duration::ZERO` disables
     /// it.
     pub deadline: Duration,
+    /// Admission control (token-bucket rate + in-flight cap) applied
+    /// before the task enters the fabric. All-zero disables it.
+    pub admission: crate::reliability::overload::AdmissionConfig,
+    /// Backpressure watermarks on in-fabric depth for this topic. A
+    /// zero high watermark disables the gate.
+    pub backpressure: crate::reliability::overload::BackpressureConfig,
 }
 
 impl ReliabilityPolicy {

@@ -17,10 +17,14 @@
 use crate::fabric::Fabric;
 use crate::health::{ReliabilityLayer, ReliabilityPolicies, TimeoutVerdict, Verdict};
 use crate::reliability::chaos::ChaosTargets;
+use crate::reliability::overload::{AdmissionConfig, AdmissionController, BackpressureGate};
 use crate::reliability::{Knob, RetryPolicies};
 use crate::task::{Arg, TaskError, TaskOutcome, TaskResult, TaskSpec, WorkerReport};
 use crate::worker::{WorkerPool, WorkerPoolConfig};
-use hetflow_sim::{channel, trace_kinds as kinds, Dist, Sender, Sim, SimRng, Symbol, SymbolMap, Tracer};
+use hetflow_sim::{
+    channel, trace_kinds as kinds, Dist, Offered, OverflowPolicy, Sender, Sim, SimRng, Symbol,
+    SymbolMap, Tracer,
+};
 use std::cell::{Cell, RefCell};
 use std::future::Future;
 use std::pin::Pin;
@@ -88,11 +92,24 @@ struct Inner {
     retries: Vec<RetryPolicies>,
     /// Per-endpoint link-degradation dials (chaos-engine targets).
     brownout: Vec<Knob>,
+    /// Per-endpoint pool-queue bound and overflow policy (0 = unbounded).
+    bounds: Vec<(usize, OverflowPolicy)>,
+    /// Token-bucket/in-flight admission, consulted before the breaker
+    /// layer; only topics with an enabled config appear in the map.
+    admission: AdmissionController,
+    admission_cfgs: SymbolMap<AdmissionConfig>,
+    /// Per-topic depth watermark gate; empty when no topic configures
+    /// backpressure.
+    gate: BackpressureGate,
+    /// Primary endpoint per routed topic (attribution for tasks shed
+    /// before an endpoint is picked).
+    primary: SymbolMap<usize>,
     results: Sender<TaskResult>,
     tracer: Tracer,
     submitted: Cell<u64>,
     returned: Cell<u64>,
     timed_out: Cell<u64>,
+    shed: Cell<u64>,
     link_bytes: Cell<u64>,
 }
 
@@ -139,17 +156,25 @@ impl HtexExecutor {
         policies: ReliabilityPolicies,
     ) -> HtexExecutor {
         let mut route: SymbolMap<Vec<usize>> = SymbolMap::new();
+        let mut primary: SymbolMap<usize> = SymbolMap::new();
         let mut pools = Vec::new();
         let mut links = Vec::new();
         let mut retries = Vec::new();
         let mut brownout = Vec::new();
+        let mut bounds = Vec::new();
         let mut pool_streams = Vec::new();
         for (i, ep) in endpoints.into_iter().enumerate() {
             for topic in &ep.topics {
-                route.get_or_insert_with(Symbol::intern(topic), Vec::new).push(i);
+                let sym = Symbol::intern(topic);
+                let targets = route.get_or_insert_with(sym, Vec::new);
+                if targets.is_empty() {
+                    primary.insert(sym, i);
+                }
+                targets.push(i);
             }
             let (pool_res_tx, pool_res_rx) = channel::<TaskResult>();
             retries.push(ep.pool.retry.clone());
+            bounds.push((ep.pool.queue_capacity, ep.pool.overflow));
             let pool = WorkerPool::spawn(
                 sim,
                 ep.pool,
@@ -161,6 +186,19 @@ impl HtexExecutor {
             links.push(ep.link);
             brownout.push(Knob::new(1.0));
             pool_streams.push(pool_res_rx);
+        }
+        // Overload protection mirrors the FnX fabric: admission configs
+        // and backpressure watermarks come off the policies; all-zero
+        // configs register nothing.
+        let admission = AdmissionController::new(sim);
+        let mut admission_cfgs: SymbolMap<AdmissionConfig> = SymbolMap::new();
+        let gate = BackpressureGate::new(sim, tracer.clone(), "htex");
+        for topic in primary.keys() {
+            let policy = policies.policy_for(topic);
+            if policy.admission.enabled() {
+                admission_cfgs.insert(topic, policy.admission.clone());
+            }
+            gate.register(topic, &policy.backpressure);
         }
         // HTEX managers have direct links (no Connectivity), so the
         // layer spawns no heartbeat watchers; breakers are fed by task
@@ -178,11 +216,17 @@ impl HtexExecutor {
             links,
             retries,
             brownout,
+            bounds,
+            admission,
+            admission_cfgs,
+            gate,
+            primary,
             results,
             tracer,
             submitted: Cell::new(0),
             returned: Cell::new(0),
             timed_out: Cell::new(0),
+            shed: Cell::new(0),
             link_bytes: Cell::new(0),
         });
         for (i, rx) in pool_streams.into_iter().enumerate() {
@@ -211,7 +255,8 @@ impl HtexExecutor {
 
     /// The chaos-engine handles of this deployment. HTEX has no
     /// endpoint connectivity and no cloud service, so only pool and
-    /// link dials are exposed.
+    /// link dials are exposed; the storm target is wired by the
+    /// deployment layer, which owns the `Rc<dyn Fabric>` handle.
     pub fn chaos_targets(&self) -> ChaosTargets {
         ChaosTargets {
             connectivity: Vec::new(),
@@ -219,6 +264,7 @@ impl HtexExecutor {
             crash: self.inner.pools.iter().map(WorkerPool::crash_knob).collect(),
             brownout: self.inner.brownout.clone(),
             cloud: None,
+            storm: None,
         }
     }
 
@@ -240,6 +286,51 @@ impl HtexExecutor {
     /// Tasks failed by the delivery deadline (`RetryPolicy::timeout`).
     pub fn timed_out(&self) -> u64 {
         self.inner.timed_out.get()
+    }
+
+    /// Tasks dropped by overload protection (admission refusals plus
+    /// queue-overflow evictions) — each still delivered a terminal
+    /// [`TaskOutcome::Shed`] result.
+    pub fn shed(&self) -> u64 {
+        self.inner.shed.get()
+    }
+
+    /// The admission controller (in-flight/rejection counters).
+    pub fn admission(&self) -> &AdmissionController {
+        &self.inner.admission
+    }
+
+    /// Balances the overload accounting when a task reaches its one
+    /// terminal outcome: the topic's in-fabric depth drops (possibly
+    /// reopening the backpressure gate) and its admission slot frees.
+    fn release(inner: &Inner, topic: Symbol) {
+        inner.gate.on_exit(topic);
+        inner.admission.on_done(topic);
+    }
+
+    /// Delivers the terminal [`TaskOutcome::Shed`] result for a task
+    /// dropped by overload protection. `load` is the queue depth or
+    /// in-flight count observed at the shed decision (the trace value).
+    fn shed_result(inner: &Inner, spec: TaskSpec, endpoint: usize, hedges: u32, reroutes: u32, load: f64) {
+        let now = inner.sim.now();
+        let actor = inner.actors[endpoint];
+        inner.tracer.emit(now, actor, kinds::TASK_SHED, spec.id, load);
+        let mut timing = spec.timing;
+        timing.server_result_received = Some(now);
+        inner.shed.set(inner.shed.get() + 1);
+        inner.returned.set(inner.returned.get() + 1);
+        let result = TaskResult {
+            id: spec.id,
+            topic: spec.topic,
+            output: Arg::empty(),
+            input_bytes: spec.args.iter().map(Arg::data_bytes).sum(),
+            report: WorkerReport { hedges, reroutes, ..WorkerReport::default() },
+            timing,
+            site: inner.pools[endpoint].site(),
+            worker: actor,
+            outcome: TaskOutcome::Shed,
+        };
+        let _ = inner.results.send_now(result); // hetlint: allow(r15) — teardown-tolerant: the campaign driver may have dropped the results receiver
     }
 
     fn link_cost(inner: &Inner, endpoint: usize, bytes: u64) -> std::time::Duration {
@@ -283,6 +374,7 @@ impl HtexExecutor {
                     let now = inner.sim.now();
                     let actor = inner.actors[endpoint];
                     inner.tracer.emit(now, actor, kinds::TASK_TIMEOUT, id, deadline.as_secs_f64());
+                    Self::release(&inner, topic);
                     timing.server_result_received = Some(now);
                     inner.timed_out.set(inner.timed_out.get() + 1);
                     inner.returned.set(inner.returned.get() + 1);
@@ -308,7 +400,26 @@ impl HtexExecutor {
         let cost = Self::link_cost(&inner, endpoint, bytes);
         inner.sim.sleep(cost).await;
         inner.link_bytes.set(inner.link_bytes.get() + bytes);
-        let _ = inner.pools[endpoint].tasks.send_now(task);
+        let (capacity, overflow) = inner.bounds[endpoint];
+        match inner.pools[endpoint].tasks.offer(task, capacity, overflow, |t| u64::from(t.priority))
+        {
+            Offered::Accepted => {}
+            Offered::Closed(_) => {} // experiment torn down
+            Offered::Displaced(victim) => {
+                // A shed copy is a failure for arbitration purposes: if
+                // a hedge/reroute sibling is still live the loss is
+                // silent; otherwise the Shed outcome is the task's one
+                // terminal result.
+                let topic = victim.topic;
+                match inner.health.on_result(endpoint, victim.id, topic, true, 0.0) {
+                    Verdict::Deliver { hedges, reroutes } => {
+                        Self::shed_result(&inner, victim, endpoint, hedges, reroutes, capacity as f64);
+                        Self::release(&inner, topic);
+                    }
+                    Verdict::Suppress => {}
+                }
+            }
+        }
     }
 
     async fn return_result(inner: Rc<Inner>, mut result: TaskResult, endpoint: usize) {
@@ -330,6 +441,7 @@ impl HtexExecutor {
             waste,
         ) {
             Verdict::Deliver { hedges, reroutes } => {
+                Self::release(&inner, result.topic);
                 result.report.hedges = hedges;
                 result.report.reroutes = reroutes;
                 result.timing.server_result_received = Some(inner.sim.now());
@@ -346,6 +458,22 @@ impl Fabric for HtexExecutor {
         Box::pin(async move {
             let inner = &self.inner;
             task.timing.dispatched = Some(inner.sim.now());
+            // Admission control: a refused submission still pays the
+            // interchange hop (the refusal happens after the client's
+            // call) and resolves to a terminal Shed outcome; it never
+            // reaches the breaker layer, so nothing to unwind.
+            if let Some(cfg) = inner.admission_cfgs.get(task.topic) {
+                if !inner.admission.try_admit(task.topic, cfg) {
+                    let hop = inner.params.submit_hop.sample_secs(&mut inner.rng.borrow_mut());
+                    inner.sim.sleep(hop).await;
+                    inner.submitted.set(inner.submitted.get() + 1);
+                    let ep = inner.primary.get(task.topic).copied().unwrap_or(0);
+                    let load = inner.admission.in_flight(task.topic) as f64;
+                    Self::shed_result(inner, task, ep, 0, 0, load);
+                    return;
+                }
+            }
+            inner.gate.on_enter(task.topic);
             // Register the dispatch with the reliability layer, which
             // picks the endpoint (breaker-aware when configured).
             let endpoint = inner
@@ -389,6 +517,7 @@ impl Fabric for HtexExecutor {
                         let now = inner2.sim.now();
                         let actor = inner2.actors[endpoint];
                         inner2.tracer.emit(now, actor, kinds::TASK_TIMEOUT, id, dl.as_secs_f64());
+                        Self::release(&inner2, topic);
                         let mut timing = timing;
                         timing.server_result_received = Some(now);
                         inner2.timed_out.set(inner2.timed_out.get() + 1);
@@ -417,6 +546,14 @@ impl Fabric for HtexExecutor {
 
     fn label(&self) -> &'static str {
         "htex"
+    }
+
+    fn backpressure(&self) -> Option<BackpressureGate> {
+        if self.inner.gate.is_empty() {
+            None
+        } else {
+            Some(self.inner.gate.clone())
+        }
     }
 }
 

@@ -60,7 +60,10 @@ pub use health::{
 };
 pub use htex::{HtexEndpoint, HtexExecutor, HtexParams, LinkParams};
 pub use provision::{ProvisionReport, ProvisionSpec, Provisioner};
-pub use reliability::chaos::{ChaosAction, ChaosSpec, ChaosTargets};
+pub use reliability::chaos::{ChaosAction, ChaosSpec, ChaosTargets, STORM_ID_BASE};
+pub use reliability::overload::{
+    AdmissionConfig, AdmissionController, BackpressureConfig, BackpressureGate,
+};
 pub use reliability::{Connectivity, FailureModel, Knob, RetryPolicies, RetryPolicy};
 pub use ser::SerModel;
 pub use task::{

@@ -15,6 +15,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 pub mod chaos;
+pub mod overload;
 
 /// A shared, mutable scalar dial: the hook through which the chaos
 /// engine (and interactive scenarios) degrade a running component —

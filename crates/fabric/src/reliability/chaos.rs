@@ -2,29 +2,41 @@
 //!
 //! A [`ChaosSpec`] is a declarative fault script — endpoint flaps, a
 //! permanent site kill, link brownouts, straggler slowdowns, worker
-//! crash storms, cloud-service degradation — that [`ChaosSpec::install`]
-//! compiles into scheduled actors against a deployment's
-//! [`ChaosTargets`]: the [`Connectivity`] handles and degradation
-//! [`Knob`]s the fabrics already consult. Every random choice is drawn
-//! from a named [`SimRng`] stream with one substream per action, so a
-//! chaos run is replayable (same seed → byte-identical trace digest)
-//! and editing one action never perturbs the draws of another.
+//! crash storms, cloud-service degradation, task storms — that
+//! [`ChaosSpec::install`] compiles into scheduled actors against a
+//! deployment's [`ChaosTargets`]: the [`Connectivity`] handles and
+//! degradation [`Knob`]s the fabrics already consult, plus an optional
+//! fabric handle for overload (task-storm) injection. Every random
+//! choice is drawn from a named [`SimRng`] stream with one substream
+//! per action, so a chaos run is replayable (same seed →
+//! byte-identical trace digest) and editing one action never perturbs
+//! the draws of another.
 //!
 //! All actors are finite: each performs its scripted transitions and
 //! returns, so an installed chaos script never blocks simulation
-//! quiescence. Actions naming an out-of-range endpoint or pool are
-//! skipped — a chaos script is test scaffolding and must degrade, not
+//! quiescence. Actions naming an out-of-range endpoint or pool — or a
+//! [`ChaosAction::TaskStorm`] when no storm target is wired — are
+//! skipped: a chaos script is test scaffolding and must degrade, not
 //! panic.
 
 use super::{Connectivity, Knob};
+use crate::fabric::Fabric;
+use crate::task::TaskSpec;
 use hetflow_sim::{Dist, Sim, SimRng, SimTime};
+use std::rc::Rc;
 use std::time::Duration;
+
+/// Base of the task-id space storm tasks are issued from: far above any
+/// id a thinker's monotone counter reaches, so storm traffic never
+/// collides with campaign tasks in lifecycle accounting. Each storm
+/// action gets its own `<< 32` sub-range under the base.
+pub const STORM_ID_BASE: u64 = 1 << 48;
 
 /// The handles a chaos script acts on, harvested from a deployment:
 /// one [`Connectivity`] per endpoint, pace/crash [`Knob`]s per worker
 /// pool, a brownout [`Knob`] per endpoint link, and optionally the
 /// cloud-service degradation knob.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct ChaosTargets {
     /// Per-endpoint connection handles (flaps, kills).
     pub connectivity: Vec<Connectivity>,
@@ -36,6 +48,24 @@ pub struct ChaosTargets {
     pub brownout: Vec<Knob>,
     /// Cloud-service round-trip multiplier, when the fabric has one.
     pub cloud: Option<Knob>,
+    /// Fabric handle [`ChaosAction::TaskStorm`] submits through; storms
+    /// are skipped when absent, so existing scripts are unaffected.
+    pub storm: Option<Rc<dyn Fabric>>,
+}
+
+// Manual impl: `Rc<dyn Fabric>` has no `Debug`, so the storm slot
+// prints as its fabric label instead.
+impl std::fmt::Debug for ChaosTargets {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosTargets")
+            .field("connectivity", &self.connectivity)
+            .field("pace", &self.pace)
+            .field("crash", &self.crash)
+            .field("brownout", &self.brownout)
+            .field("cloud", &self.cloud)
+            .field("storm", &self.storm.as_ref().map(|fab| fab.label()))
+            .finish()
+    }
 }
 
 /// One scripted fault.
@@ -110,6 +140,26 @@ pub enum ChaosAction {
         /// Cloud round-trip multiplier while degraded (> 1 is slower).
         factor: f64,
     },
+    /// A flood of expendable background tasks — the overload scenario.
+    /// Starting at `at`, the storm actor submits `tasks` junk tasks on
+    /// the `"noop"` topic at [`TaskSpec::PRIORITY_LOW`], one per
+    /// `interval` draw, through [`ChaosTargets::storm`]. Storm ids live
+    /// in the [`STORM_ID_BASE`] space so they never collide with
+    /// campaign ids. Skipped when no storm target is wired.
+    TaskStorm {
+        /// When the first storm task is submitted.
+        at: SimTime,
+        /// Number of tasks the storm submits.
+        tasks: u32,
+        /// Gap between consecutive submissions, seconds.
+        interval: Dist,
+        /// Declared inline payload size per task, bytes.
+        bytes: u64,
+        /// Worker compute seconds each storm task burns. Zero-work
+        /// storms only stress the submission path; give storms real
+        /// service time to contend for workers and queue slots.
+        work: Dist,
+    },
 }
 
 /// A declarative, replayable chaos script: a named RNG stream plus the
@@ -140,12 +190,18 @@ impl ChaosSpec {
         let rng = SimRng::stream(seed, &self.stream);
         for (i, action) in self.actions.iter().enumerate() {
             let action_rng = rng.substream(i as u64);
-            install_action(sim, action.clone(), action_rng, targets);
+            install_action(sim, action.clone(), i as u64, action_rng, targets);
         }
     }
 }
 
-fn install_action(sim: &Sim, action: ChaosAction, mut rng: SimRng, targets: &ChaosTargets) {
+fn install_action(
+    sim: &Sim,
+    action: ChaosAction,
+    index: u64,
+    mut rng: SimRng,
+    targets: &ChaosTargets,
+) {
     match action {
         ChaosAction::Flap { endpoint, start, up, down, cycles } => {
             let Some(conn) = targets.connectivity.get(endpoint).cloned() else { return };
@@ -186,7 +242,41 @@ fn install_action(sim: &Sim, action: ChaosAction, mut rng: SimRng, targets: &Cha
             let Some(knob) = targets.cloud.clone() else { return };
             dial(sim, knob, at, duration, factor, 1.0);
         }
+        ChaosAction::TaskStorm { at, tasks, interval, bytes, work } => {
+            let Some(fabric) = targets.storm.clone() else { return };
+            let s = sim.clone();
+            let base = STORM_ID_BASE + (index << 32);
+            sim.spawn(async move {
+                s.sleep_until(at).await;
+                for i in 0..u64::from(tasks) {
+                    let burn = work.sample(&mut rng).max(0.0);
+                    let task = storm_task(base + i, bytes, burn);
+                    fabric.submit(task).await;
+                    let gap = interval.sample_secs(&mut rng);
+                    s.sleep(gap).await;
+                }
+            });
+        }
     }
+}
+
+/// One storm task: inline junk payload, `burn` seconds of worker
+/// compute, shed-first priority. Zero burn degenerates to
+/// [`TaskSpec::noop`]'s shared-allocation path.
+fn storm_task(id: u64, bytes: u64, burn: f64) -> TaskSpec {
+    if burn == 0.0 {
+        return TaskSpec::noop(id, bytes).with_priority(TaskSpec::PRIORITY_LOW);
+    }
+    let out_bytes = bytes;
+    TaskSpec::new(
+        id,
+        "noop",
+        crate::task::Arg::Inline { bytes, value: Rc::new(()) },
+        Rc::new(move |_ctx| {
+            crate::task::TaskWork::new((), out_bytes, hetflow_sim::time::secs(burn))
+        }),
+    )
+    .with_priority(TaskSpec::PRIORITY_LOW)
 }
 
 /// Turns a knob to `value` at `at`, back to `neutral` after `duration`.
@@ -314,6 +404,13 @@ mod tests {
                 factor: 2.0,
             },
             ChaosAction::Degrade { at: secs(1), duration: Duration::from_secs(1), factor: 2.0 },
+            ChaosAction::TaskStorm {
+                at: secs(1),
+                tasks: 100,
+                interval: Dist::Constant(0.1),
+                bytes: 64,
+                work: Dist::Constant(0.5),
+            },
         ]);
         spec.install(&sim, 0, &targets);
         let report = sim.run();

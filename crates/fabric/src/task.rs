@@ -83,18 +83,29 @@ pub enum TaskOutcome {
     /// error. Timing/report fields still describe what actually happened
     /// (attempts made, time wasted) so failure-path accounting adds up.
     Failed(TaskError),
+    /// Overload protection dropped the task before it ran: displaced
+    /// from a full bounded queue or refused by the admission controller.
+    /// The result carries a placeholder output and burned no compute.
+    /// Distinct from `Failed` so lifecycle conservation reads
+    /// `submitted == completed + failed + shed`.
+    Shed,
 }
 
 impl TaskOutcome {
-    /// True for failed outcomes.
+    /// True for failed outcomes (shed is not a failure: no attempt ran).
     pub fn is_failed(&self) -> bool {
         matches!(self, TaskOutcome::Failed(_))
+    }
+
+    /// True when the task was shed by overload protection.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, TaskOutcome::Shed)
     }
 
     /// The error, if failed.
     pub fn error(&self) -> Option<&TaskError> {
         match self {
-            TaskOutcome::Success => None,
+            TaskOutcome::Success | TaskOutcome::Shed => None,
             TaskOutcome::Failed(e) => Some(e),
         }
     }
@@ -468,6 +479,12 @@ pub struct TaskSpec {
     /// submit-side proxy put failed). The worker short-circuits: no
     /// resolve, no compute — the error rides the normal result path.
     pub failed: Option<TaskError>,
+    /// Shedding priority: higher keeps its queue slot longer under
+    /// [`hetflow_sim::OverflowPolicy::ShedLowestPriority`]. Campaign
+    /// tasks default to [`TaskSpec::PRIORITY_NORMAL`]; background storm
+    /// traffic runs at [`TaskSpec::PRIORITY_LOW`] so overload sheds it
+    /// first.
+    pub priority: u8,
 }
 
 impl std::fmt::Debug for TaskSpec {
@@ -482,6 +499,12 @@ impl std::fmt::Debug for TaskSpec {
 }
 
 impl TaskSpec {
+    /// Default shedding priority of campaign tasks.
+    pub const PRIORITY_NORMAL: u8 = 100;
+    /// Priority of expendable background traffic (chaos storms): the
+    /// first thing a full queue sheds.
+    pub const PRIORITY_LOW: u8 = 0;
+
     /// Creates a task with the given topic, args and closure.
     pub fn new(
         id: TaskId,
@@ -497,7 +520,14 @@ impl TaskSpec {
             ser_time: Duration::ZERO,
             timing: TaskTiming::default(),
             failed: None,
+            priority: Self::PRIORITY_NORMAL,
         }
+    }
+
+    /// Builder: sets the shedding priority.
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
     }
 
     /// A no-op task with one inline payload of `bytes` — the synthetic
@@ -572,6 +602,11 @@ impl TaskResult {
     /// True when the task failed (see [`TaskOutcome`]).
     pub fn is_failed(&self) -> bool {
         self.outcome.is_failed()
+    }
+
+    /// True when overload protection shed the task before it ran.
+    pub fn is_shed(&self) -> bool {
+        self.outcome.is_shed()
     }
 }
 

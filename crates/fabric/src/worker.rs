@@ -56,6 +56,14 @@ pub struct WorkerPoolConfig {
     /// with this probability, wasting half the compute before the
     /// (single) re-run. Draws no randomness while zero.
     pub crash: Knob,
+    /// Bound on the pool's pending-task queue, enforced by the fabrics
+    /// at delivery time via [`hetflow_sim::Sender::offer`]. `0` keeps
+    /// the queue unbounded (the zero-value defer).
+    pub queue_capacity: usize,
+    /// What happens to a delivery that finds the queue full: refuse the
+    /// arrival, evict the oldest queued task, or evict the
+    /// lowest-priority one. Irrelevant while `queue_capacity == 0`.
+    pub overflow: hetflow_sim::OverflowPolicy,
 }
 
 impl WorkerPoolConfig {
@@ -73,6 +81,8 @@ impl WorkerPoolConfig {
             start_delays: Vec::new(),
             pace: Knob::new(1.0),
             crash: Knob::new(0.0),
+            queue_capacity: 0,
+            overflow: hetflow_sim::OverflowPolicy::default(),
         }
     }
 }

@@ -1,10 +1,15 @@
 //! Message channels between simulated actors.
 //!
-//! [`channel`] gives an unbounded multi-producer/multi-consumer FIFO — the
-//! workhorse for task queues, result queues, and worker pools.
-//! [`bounded`] adds backpressure for links with limited in-flight capacity.
-//! [`oneshot`] carries a single reply, used for request/response exchanges
-//! such as a worker returning a task result.
+//! [`channel`] gives a multi-producer/multi-consumer FIFO — the workhorse
+//! for task queues, result queues, and worker pools. It is unbounded by
+//! construction, but callers choose the capacity contract per send:
+//! [`Sender::send`] awaits room on a [`bounded`] channel, [`Sender::try_send`]
+//! refuses instead of waiting, and [`Sender::offer`] enforces a caller-side
+//! capacity with a deterministic [`OverflowPolicy`] (reject the arrival, shed
+//! the oldest queued item, or shed the lowest-priority one) — the primitive
+//! behind the fabric's overload protection. [`oneshot`] carries a single
+//! reply, used for request/response exchanges such as a worker returning a
+//! task result.
 //!
 //! Channels transport values instantaneously in virtual time; latency is
 //! modelled explicitly by the sender (sleep, then send), which keeps cost
@@ -39,6 +44,56 @@ pub struct SendError<T>(pub T);
 /// Error returned by bounded sends that would block forever.
 #[derive(Debug, PartialEq, Eq)]
 pub struct ClosedError;
+
+/// Error returned by [`Sender::try_send`]: the value is handed back so the
+/// caller can account for it (shed counters, retry queues).
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity; the arrival was refused.
+    Full(T),
+    /// Every receiver is gone.
+    Closed(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recovers the value that was not sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Closed(v) => v,
+        }
+    }
+}
+
+/// What to do when an [`Sender::offer`] arrives at a full queue. All three
+/// policies are deterministic functions of queue contents — no RNG — so
+/// same-seed runs shed the same tasks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Refuse the arrival; the queue is untouched.
+    #[default]
+    Reject,
+    /// Evict the longest-queued item to make room for the arrival.
+    ShedOldest,
+    /// Evict the lowest-priority item (oldest among ties). When the
+    /// arrival itself has the strictly lowest priority, it is the one
+    /// refused.
+    ShedLowestPriority,
+}
+
+/// Outcome of [`Sender::offer`]: either the value was queued with room to
+/// spare, or the policy displaced a victim (possibly the arrival itself),
+/// or the channel is closed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Offered<T> {
+    /// The arrival was queued without evicting anything.
+    Accepted,
+    /// The queue was full: the policy picked this victim (which may be
+    /// the arrival itself under `Reject` / `ShedLowestPriority`). The
+    /// caller owns its accounting — synthesize a shed outcome, trace it.
+    Displaced(T),
+    /// Every receiver is gone; the arrival is handed back.
+    Closed(T),
+}
 
 /// Handle to a [`WakerPool`] slot: index plus the generation at
 /// registration, so a released slot's next tenant is never confused
@@ -170,7 +225,11 @@ pub struct Receiver<T> {
     state: Rc<RefCell<ChanState<T>>>,
 }
 
-/// Creates an unbounded MPMC FIFO channel.
+/// Creates an MPMC FIFO channel with no built-in capacity: every
+/// [`Sender::send_now`] succeeds while a receiver exists. Callers that
+/// need bounded behavior use [`bounded`] (senders await room) or keep the
+/// channel unbounded and police depth at the send site with
+/// [`Sender::offer`] / [`Sender::try_send`].
 pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
     with_capacity(None)
 }
@@ -231,9 +290,11 @@ impl<T> Drop for Receiver<T> {
 }
 
 impl<T> Sender<T> {
-    /// Sends without blocking. On an unbounded channel this always
-    /// succeeds while a receiver exists; on a bounded channel it also
-    /// succeeds (use [`Sender::send`] to respect capacity).
+    /// Sends without blocking and without respecting capacity: it
+    /// succeeds whenever a receiver exists, even past a [`bounded`]
+    /// channel's limit. Use [`Sender::send`] to await room,
+    /// [`Sender::try_send`] to refuse instead of overflowing, or
+    /// [`Sender::offer`] for policy-driven shedding.
     pub fn send_now(&self, value: T) -> Result<(), SendError<T>> {
         let mut s = self.state.borrow_mut();
         if s.receivers == 0 {
@@ -248,6 +309,102 @@ impl<T> Sender<T> {
     /// Sends, awaiting capacity on bounded channels.
     pub fn send(&self, value: T) -> SendFuture<'_, T> {
         SendFuture { sender: self, value: Some(value), slot: None }
+    }
+
+    /// Sends only if the channel has room: on a [`bounded`] channel at
+    /// capacity the arrival is refused with [`TrySendError::Full`]
+    /// instead of queueing (contrast [`Sender::send_now`], which always
+    /// overflows). On an unbounded channel this is `send_now` with the
+    /// error repackaged.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut s = self.state.borrow_mut();
+        if s.receivers == 0 {
+            return Err(TrySendError::Closed(value));
+        }
+        if s.capacity.is_some_and(|c| s.queue.len() >= c) {
+            return Err(TrySendError::Full(value));
+        }
+        s.queue.push_back(value);
+        s.total_sent += 1;
+        s.recv_wakers.wake_one();
+        Ok(())
+    }
+
+    /// Offers `value` against a caller-side `capacity` (0 = unbounded),
+    /// applying `policy` when the queue is full. `priority` maps an item
+    /// to its importance (higher keeps its place) and is consulted only
+    /// by [`OverflowPolicy::ShedLowestPriority`].
+    ///
+    /// A full queue implies no receiver is currently waiting (a waiting
+    /// receiver would have drained it), so displacing one queued item
+    /// for another needs no wakeup; an accepted arrival wakes a receiver
+    /// exactly like `send_now`.
+    pub fn offer(
+        &self,
+        value: T,
+        capacity: usize,
+        policy: OverflowPolicy,
+        priority: impl Fn(&T) -> u64,
+    ) -> Offered<T> {
+        let mut s = self.state.borrow_mut();
+        if s.receivers == 0 {
+            return Offered::Closed(value);
+        }
+        if capacity == 0 || s.queue.len() < capacity {
+            s.queue.push_back(value);
+            s.total_sent += 1;
+            s.recv_wakers.wake_one();
+            return Offered::Accepted;
+        }
+        match policy {
+            OverflowPolicy::Reject => Offered::Displaced(value),
+            OverflowPolicy::ShedOldest => match s.queue.pop_front() {
+                Some(victim) => {
+                    s.queue.push_back(value);
+                    s.total_sent += 1;
+                    Offered::Displaced(victim)
+                }
+                // Unreachable (a full queue is non-empty), but landing
+                // the value keeps the no-panic dispatch contract.
+                None => {
+                    s.queue.push_back(value);
+                    s.total_sent += 1;
+                    s.recv_wakers.wake_one();
+                    Offered::Accepted
+                }
+            },
+            OverflowPolicy::ShedLowestPriority => {
+                let mut min: Option<(usize, u64)> = None;
+                for (i, item) in s.queue.iter().enumerate() {
+                    let p = priority(item);
+                    if min.is_none_or(|(_, lowest)| p < lowest) {
+                        min = Some((i, p));
+                    }
+                }
+                let Some((idx, lowest)) = min else {
+                    s.queue.push_back(value);
+                    s.total_sent += 1;
+                    s.recv_wakers.wake_one();
+                    return Offered::Accepted;
+                };
+                if priority(&value) < lowest {
+                    return Offered::Displaced(value);
+                }
+                match s.queue.remove(idx) {
+                    Some(victim) => {
+                        s.queue.push_back(value);
+                        s.total_sent += 1;
+                        Offered::Displaced(victim)
+                    }
+                    None => {
+                        s.queue.push_back(value);
+                        s.total_sent += 1;
+                        s.recv_wakers.wake_one();
+                        Offered::Accepted
+                    }
+                }
+            }
+        }
     }
 
     /// Number of items currently queued.
@@ -769,6 +926,84 @@ mod tests {
         });
         assert!(sim.block_on(quitter), "event must win");
         assert_eq!(sim.block_on(patient), Ok(()));
+    }
+
+    #[test]
+    fn try_send_respects_capacity() {
+        let (tx, rx) = bounded::<u32>(2);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Ok(()));
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(tx.try_send(4), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(5), Err(TrySendError::Closed(5)));
+        assert_eq!(TrySendError::Full(7u32).into_inner(), 7);
+    }
+
+    #[test]
+    fn offer_zero_capacity_is_unbounded() {
+        let (tx, rx) = channel::<u32>();
+        for i in 0..100 {
+            assert_eq!(tx.offer(i, 0, OverflowPolicy::Reject, |_| 0), Offered::Accepted);
+        }
+        assert_eq!(rx.len(), 100);
+    }
+
+    #[test]
+    fn offer_reject_displaces_arrival() {
+        let (tx, rx) = channel::<u32>();
+        assert_eq!(tx.offer(1, 2, OverflowPolicy::Reject, |_| 0), Offered::Accepted);
+        assert_eq!(tx.offer(2, 2, OverflowPolicy::Reject, |_| 0), Offered::Accepted);
+        assert_eq!(tx.offer(3, 2, OverflowPolicy::Reject, |_| 0), Offered::Displaced(3));
+        assert_eq!(rx.drain_now(), vec![1, 2], "queue untouched by a rejected arrival");
+    }
+
+    #[test]
+    fn offer_shed_oldest_evicts_front() {
+        let (tx, rx) = channel::<u32>();
+        tx.offer(1, 2, OverflowPolicy::ShedOldest, |_| 0);
+        tx.offer(2, 2, OverflowPolicy::ShedOldest, |_| 0);
+        assert_eq!(tx.offer(3, 2, OverflowPolicy::ShedOldest, |_| 0), Offered::Displaced(1));
+        assert_eq!(rx.drain_now(), vec![2, 3], "FIFO order with the newest at the back");
+    }
+
+    #[test]
+    fn offer_shed_lowest_priority_picks_victim() {
+        // Priority = the value itself; higher keeps its place.
+        let pri = |v: &u32| u64::from(*v);
+        let (tx, rx) = channel::<u32>();
+        tx.offer(5, 3, OverflowPolicy::ShedLowestPriority, pri);
+        tx.offer(2, 3, OverflowPolicy::ShedLowestPriority, pri);
+        tx.offer(8, 3, OverflowPolicy::ShedLowestPriority, pri);
+        // Arrival (6) outranks the lowest queued (2): 2 is shed.
+        assert_eq!(tx.offer(6, 3, OverflowPolicy::ShedLowestPriority, pri), Offered::Displaced(2));
+        // Arrival (1) is strictly the lowest: it is refused itself.
+        assert_eq!(tx.offer(1, 3, OverflowPolicy::ShedLowestPriority, pri), Offered::Displaced(1));
+        // Ties go to the oldest queued item, not the arrival.
+        assert_eq!(tx.offer(5, 3, OverflowPolicy::ShedLowestPriority, pri), Offered::Displaced(5));
+        assert_eq!(rx.drain_now(), vec![8, 6, 5]);
+    }
+
+    #[test]
+    fn offer_closed_returns_value() {
+        let (tx, rx) = channel::<u32>();
+        drop(rx);
+        assert_eq!(tx.offer(9, 1, OverflowPolicy::ShedOldest, |_| 0), Offered::Closed(9));
+    }
+
+    /// An accepted offer wakes a waiting receiver exactly like send_now.
+    #[test]
+    fn offer_wakes_waiting_receiver() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u32>();
+        let waiter = sim.spawn(async move { rx.recv().await });
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(secs(1.0)).await;
+            assert_eq!(tx.offer(11, 4, OverflowPolicy::ShedOldest, |_| 0), Offered::Accepted);
+        });
+        assert_eq!(sim.block_on(waiter), Some(11));
     }
 
     #[test]

@@ -51,7 +51,10 @@ pub mod trace;
 
 pub use arena::{Arena, ArenaId};
 pub use combinators::{join_all, select2, Barrier, Either, Elapsed, Interval};
-pub use channel::{bounded, channel, oneshot, OneshotReceiver, OneshotSender, Receiver, Sender};
+pub use channel::{
+    bounded, channel, oneshot, Offered, OneshotReceiver, OneshotSender, OverflowPolicy, Receiver,
+    Sender, TrySendError,
+};
 pub use dist::Dist;
 pub use executor::{JoinHandle, RunReport, Sim};
 pub use intern::Symbol;

@@ -54,6 +54,25 @@ pub mod kinds {
     /// A task whose delivery timed out was re-dispatched to a
     /// different endpoint instead of failing. Value = reroute count.
     pub const TASK_REROUTED: &str = "task_rerouted";
+    /// A task was shed by overload protection — displaced from a full
+    /// bounded queue or refused by the admission controller — and
+    /// delivered as a `TaskOutcome::Shed` record. Value = the queue
+    /// depth (or in-flight count) at the moment of shedding.
+    pub const TASK_SHED: &str = "task_shed";
+    /// A topic's queue depth crossed its high watermark: the submission
+    /// gate closed and steer agents now await a permit. Entity = the
+    /// topic's registration index, value = the depth that tripped it.
+    pub const BACKPRESSURE_ON: &str = "backpressure_on";
+    /// The depth drained to the low watermark and the gate reopened.
+    /// Entity = the topic's registration index, value = the depth.
+    pub const BACKPRESSURE_OFF: &str = "backpressure_off";
+    /// Sustained overload (or open breakers) made an application drop
+    /// to a cheaper fidelity tier (TTM-like oracle, smaller ensemble).
+    /// Value = the degradation generation.
+    pub const FIDELITY_DEGRADED: &str = "fidelity_degraded";
+    /// Pressure cleared and full fidelity resumed. Value = the
+    /// generation being retired.
+    pub const FIDELITY_RESTORED: &str = "fidelity_restored";
 
     /// Every registered kind, in declaration order.
     ///
@@ -76,6 +95,11 @@ pub mod kinds {
         TASK_HEDGED,
         TASK_CANCELLED,
         TASK_REROUTED,
+        TASK_SHED,
+        BACKPRESSURE_ON,
+        BACKPRESSURE_OFF,
+        FIDELITY_DEGRADED,
+        FIDELITY_RESTORED,
     ];
 }
 

@@ -44,6 +44,11 @@ impl TaskRecord {
     pub fn is_failed(&self) -> bool {
         self.outcome.is_failed()
     }
+
+    /// True when overload protection shed the task before it ran.
+    pub fn is_shed(&self) -> bool {
+        self.outcome.is_shed()
+    }
 }
 
 /// Per-component latency statistics over a set of records.
@@ -79,6 +84,10 @@ pub struct Breakdown {
     pub count: usize,
     /// Number of failed records among them.
     pub failed: usize,
+    /// Number of records overload protection shed before they ran.
+    /// Conservation: `count == finished + failed + shed` for any
+    /// duplicate-free record set.
+    pub shed: usize,
     /// Duplicate records dropped: later deliveries for a task id that
     /// already has a record (cancelled hedge copies that slipped past
     /// the fabric's arbitration, or replayed notifications). Their
@@ -134,6 +143,8 @@ impl Breakdown {
             b.wasted.record(r.report.wasted_time.as_secs_f64());
             if r.is_failed() {
                 b.failed += 1;
+            } else if r.is_shed() {
+                b.shed += 1;
             }
         }
         b
@@ -282,6 +293,17 @@ mod tests {
         assert_eq!(b.wasted.len(), 2);
         assert!((b.wasted.max() - 1.0).abs() < 1e-12);
         assert_eq!(b.lifetime.len(), 1, "components aggregate the winner only");
+    }
+
+    #[test]
+    fn shed_records_count_as_shed_not_failed() {
+        let ok = record("a", 0);
+        let mut shed = record("a", 10);
+        shed.outcome = TaskOutcome::Shed;
+        let b = Breakdown::of(&[ok, shed], None);
+        assert_eq!(b.count, 2);
+        assert_eq!(b.failed, 0);
+        assert_eq!(b.shed, 1);
     }
 
     #[test]

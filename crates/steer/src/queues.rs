@@ -13,7 +13,8 @@
 
 use crate::lifecycle::TaskRecord;
 use hetflow_fabric::{
-    Arg, Fabric, SerModel, TaskError, TaskFn, TaskId, TaskOutcome, TaskResult, TaskSpec,
+    Arg, BackpressureGate, Fabric, SerModel, TaskError, TaskFn, TaskId, TaskOutcome, TaskResult,
+    TaskSpec,
 };
 use hetflow_store::{ProxyPolicy, SiteId, UntypedProxy};
 use hetflow_sim::{
@@ -107,6 +108,10 @@ struct Shared {
     /// must not take the interner lock per task.
     actor: Symbol,
     outstanding: Cell<i64>,
+    /// The fabric's backpressure gate, when any topic has watermarks
+    /// configured. `None` (the default deployment) keeps `submit` on
+    /// its original await-free admission path.
+    gate: Option<BackpressureGate>,
 }
 
 /// The thinker-side handle: submit tasks, await results.
@@ -165,6 +170,13 @@ impl ClientQueues {
         let topic: Symbol = topic.into();
         let shared = &self.shared;
         let sim = &shared.sim;
+        // Backpressure: when the fabric's gate is closed for this topic
+        // the agent parks here — before the task exists — so overload
+        // never builds an unbounded backlog of stamped tasks. With no
+        // gate (or the topic unregistered / open) this is await-free.
+        if let Some(gate) = &shared.gate {
+            gate.acquire(topic).await;
+        }
         let id = shared.next_id.get();
         shared.next_id.set(id + 1);
         let created = sim.now();
@@ -325,6 +337,12 @@ impl CompletedTask {
         self.inner().is_failed()
     }
 
+    /// True when overload protection shed the task before it ran (cheap
+    /// inspection, like [`CompletedTask::is_failed`]).
+    pub fn is_shed(&self) -> bool {
+        self.inner().is_shed()
+    }
+
     /// How the task ended.
     pub fn outcome(&self) -> TaskOutcome {
         self.inner().outcome.clone()
@@ -384,13 +402,20 @@ impl ResolvedTask {
         self.record.is_failed()
     }
 
+    /// True when overload protection shed the task; the value is a
+    /// placeholder then, exactly as for a failed task.
+    pub fn is_shed(&self) -> bool {
+        self.record.is_shed()
+    }
+
     /// The error, if the task failed.
     pub fn error(&self) -> Option<&TaskError> {
         self.record.outcome.error()
     }
 
     /// Downcasts the output value. Check [`ResolvedTask::is_failed`]
-    /// first: failed tasks carry a `()` placeholder, not a `T`.
+    /// and [`ResolvedTask::is_shed`] first: failed and shed tasks carry
+    /// a `()` placeholder, not a `T`.
     pub fn value<T: 'static>(&self) -> Rc<T> {
         Rc::clone(&self.value)
             .downcast::<T>()
@@ -454,6 +479,7 @@ impl TaskServer {
             tracer: tracer.clone(),
             actor: Symbol::intern("thinker"),
             outstanding: Cell::new(0),
+            gate: fabric.backpressure(),
         });
 
         // Submission-forwarding actor: deserialize, re-serialize, submit.

@@ -297,6 +297,72 @@ fn trace_digest_reproducible_under_chaos_engine() {
     assert_ne!(d1, clean, "the chaos script should alter the trace");
 }
 
+/// A moldesign campaign with the whole overload-protection stack on —
+/// bounded CPU queue, admission control on the storm topic, graceful
+/// fidelity degradation — under a scripted task storm. Shedding,
+/// backpressure, and fidelity transitions all fold into the digest, so
+/// the overload machinery must replay bit-identically.
+fn storm_digest(seed: u64) -> (u64, usize, usize, u64) {
+    use hetflow::apps::DegradationPolicy;
+    use hetflow::fabric::{AdmissionConfig, ChaosAction, ChaosSpec};
+    use hetflow::sim::{Dist, OverflowPolicy};
+
+    let sim = Sim::new();
+    let tracer = Tracer::enabled();
+    let spec = DeploymentSpec {
+        cpu_workers: 4,
+        gpu_workers: 2,
+        seed,
+        cpu_queue_capacity: 8,
+        overflow: OverflowPolicy::ShedOldest,
+        reliability: ReliabilityPolicies::default().with_topic(
+            "noop",
+            ReliabilityPolicy {
+                admission: AdmissionConfig { rate: 10.0, burst: 10.0, max_in_flight: 0 },
+                ..Default::default()
+            },
+        ),
+        ..Default::default()
+    };
+    let d = deploy(&sim, WorkflowConfig::FnXGlobus, &spec, tracer.clone());
+    ChaosSpec::new(vec![ChaosAction::TaskStorm {
+        at: SimTime::from_secs(60),
+        tasks: 2_000,
+        interval: Dist::Constant(0.05),
+        bytes: 64,
+        work: Dist::LogNormal { median: 6.0, sigma: 0.2 },
+    }])
+    .install(&sim, seed, &d.chaos);
+    let o = moldesign::run(
+        &sim,
+        &d,
+        MolDesignParams {
+            library_size: 400,
+            budget: Duration::from_secs(1200),
+            ensemble_size: 2,
+            retrain_after: 8,
+            seed,
+            degradation: DegradationPolicy { trigger_after: 2, restore_after: 3 },
+            ..Default::default()
+        },
+    );
+    (tracer.digest(), tracer.len(), o.shed, o.degradations)
+}
+
+#[test]
+fn trace_digest_reproducible_under_task_storm() {
+    let a = storm_digest(1234);
+    let b = storm_digest(1234);
+    assert!(a.1 > 0, "traced campaign emitted no events");
+    assert!(a.2 > 0, "the storm must shed campaign tasks");
+    assert!(a.3 >= 1, "sustained shedding must degrade fidelity");
+    assert_eq!(a, b, "overload-protection trace diverged between same-seed runs");
+    // The storm must actually perturb the run relative to the clean
+    // campaign of the same seed.
+    let (clean, _) = traced_digest(WorkflowConfig::FnXGlobus, 1234);
+    assert_ne!(a.0, clean, "the task storm should alter the trace");
+}
+
 #[test]
 fn tie_shuffle_leaves_trace_digest_invariant() {
     // The runtime half of the determinism contract: randomizing the

@@ -388,6 +388,115 @@ fn site_loss_mid_campaign_fails_over_and_keeps_working() {
 }
 
 #[test]
+fn task_storms_conserve_every_submission() {
+    // Overload-protection conservation law: under random task-storm
+    // scripts against bounded queues and admission control, every
+    // submission — campaign or storm — ends in exactly one terminal
+    // outcome: submitted == completed + failed + shed, no id twice.
+    use hetflow::fabric::{AdmissionConfig, STORM_ID_BASE};
+    use hetflow::sim::{Dist, OverflowPolicy, SimRng};
+    use std::collections::HashSet;
+
+    const CAMPAIGN_TASKS: u64 = 30;
+    let policies =
+        [OverflowPolicy::Reject, OverflowPolicy::ShedOldest, OverflowPolicy::ShedLowestPriority];
+    for (run, seed) in [11u64, 13, 21].into_iter().enumerate() {
+        // A randomized storm script, derived deterministically from the
+        // run seed: 1–3 overlapping storms with random start, rate, and
+        // per-task worker burn.
+        let mut script = SimRng::stream(seed, "storm-script");
+        let storms: Vec<ChaosAction> = (0..seed % 3 + 1)
+            .map(|_| ChaosAction::TaskStorm {
+                at: SimTime::from_secs(
+                    Dist::Uniform { lo: 2.0, hi: 40.0 }.sample(&mut script) as u64
+                ),
+                tasks: Dist::Uniform { lo: 40.0, hi: 120.0 }.sample(&mut script) as u32,
+                interval: Dist::Constant(
+                    Dist::Uniform { lo: 0.02, hi: 0.2 }.sample(&mut script),
+                ),
+                bytes: 64,
+                work: Dist::Uniform { lo: 0.0, hi: 3.0 },
+            })
+            .collect();
+        let storm_total: u64 = storms
+            .iter()
+            .map(|a| match a {
+                ChaosAction::TaskStorm { tasks, .. } => u64::from(*tasks),
+                _ => 0,
+            })
+            .sum();
+
+        let sim = Sim::new();
+        let spec = DeploymentSpec {
+            cpu_workers: 2,
+            gpu_workers: 1,
+            seed,
+            // Tight bound: 30 campaign submissions of 15 s tasks on 2
+            // workers guarantee overflow shedding on every policy.
+            cpu_queue_capacity: 4,
+            overflow: policies[run],
+            // Admission control on the storm topic exercises the
+            // submission-time shed path alongside queue overflow.
+            reliability: ReliabilityPolicies::default().with_topic(
+                "noop",
+                ReliabilityPolicy {
+                    admission: AdmissionConfig { rate: 8.0, burst: 8.0, max_in_flight: 16 },
+                    ..Default::default()
+                },
+            ),
+            ..Default::default()
+        };
+        let d = deploy(&sim, WorkflowConfig::FnXGlobus, &spec, Tracer::disabled());
+        ChaosSpec::new(storms).install(&sim, seed, &d.chaos);
+        let q = d.queues.clone();
+        let h = sim.spawn(async move {
+            for i in 0..CAMPAIGN_TASKS {
+                q.submit(
+                    "simulate",
+                    vec![Payload::new(i, 1000)],
+                    Rc::new(|_| TaskWork::new((), 100, Duration::from_secs(15))),
+                )
+                .await;
+            }
+            let mut seen = HashSet::new();
+            let (mut completed, mut shed, mut failed) = (0u64, 0u64, 0u64);
+            for i in 0..CAMPAIGN_TASKS + storm_total {
+                let topic = if i < CAMPAIGN_TASKS { "simulate" } else { "noop" };
+                let r = q.get_result(topic).await.unwrap().resolve().await;
+                assert!(seen.insert(r.record.id), "duplicate terminal outcome for {}", r.record.id);
+                if topic == "noop" {
+                    assert!(r.record.id >= STORM_ID_BASE, "storm ids live in the storm space");
+                } else {
+                    assert!(r.record.id < STORM_ID_BASE, "campaign ids stay below the storm space");
+                }
+                if r.is_shed() {
+                    shed += 1;
+                } else if r.is_failed() {
+                    failed += 1;
+                } else {
+                    completed += 1;
+                }
+            }
+            (completed, shed, failed)
+        });
+        let (completed, shed, failed) = sim.block_on(h);
+        let total = CAMPAIGN_TASKS + storm_total;
+        assert_eq!(
+            completed + shed + failed,
+            total,
+            "seed {seed}: conservation violated ({completed} + {shed} + {failed} != {total})"
+        );
+        assert!(shed > 0, "seed {seed}: the storm scenario must shed something");
+        assert!(completed > 0, "seed {seed}: protection must not starve all work");
+        // The lifecycle ledger agrees with what the thinker observed.
+        let b = Breakdown::of(&d.queues.records(), None);
+        assert_eq!(b.count as u64, total);
+        assert_eq!(b.shed as u64, shed);
+        assert_eq!(b.failed as u64, failed);
+    }
+}
+
+#[test]
 fn failed_attempts_extend_task_lifetimes() {
     let lifetime_with = |failure: Option<FailureModel>| {
         let sim = Sim::new();
